@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+The empirical benches run the full nine-benchmark suite at a medium
+scale: large enough to reach each workload's steady state (the profiles
+are sized for it), small enough to keep the whole harness to a few
+minutes. Simulations are shared across benches through the simulator's
+result cache, mirroring how the paper derives Figures 7-9 and Table 3
+from one set of runs.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentScale
+
+#: Scale used by the empirical benchmark harness.
+MEDIUM_SCALE = ExperimentScale(window_instructions=20_000, warmup_instructions=15_000)
+
+
+@pytest.fixture(scope="session")
+def medium_scale():
+    return MEDIUM_SCALE

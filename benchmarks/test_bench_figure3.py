@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 3 (uncontrolled idle vs sleep mode).
+
+Paper claims checked: break-even at ~17 cycles for alpha = 0.1 and the
+sleep curves' plateau shape.
+"""
+
+from repro.experiments import figure3
+
+
+def test_bench_figure3(benchmark):
+    result = benchmark(figure3.run)
+    assert result.breakeven_cycles[0.1] == 17
+    assert abs(result.breakeven_cycles[0.5] - 17) <= 2
+    curve = result.curves[0.1]
+    assert curve.sleep_pj[25] < curve.uncontrolled_pj[25]
+    print()
+    print(figure3.render(result))

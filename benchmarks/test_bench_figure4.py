@@ -1,0 +1,33 @@
+"""Bench: regenerate Figure 4 (model parameter-space exploration).
+
+Paper claims checked: ~1/p break-even decay with ~20 cycles at p=0.05;
+the MaxSleep/AlwaysActive crossover in panel (b); MaxSleep ~ NoOverhead
+at 100-cycle idles; MaxSleep worst-case at 1-cycle idles.
+"""
+
+import pytest
+
+from repro.experiments import figure4
+
+
+def test_bench_figure4(benchmark):
+    result = benchmark(figure4.run)
+
+    index = result.p_grid.index(0.05)
+    by_alpha = dict(result.breakeven)
+    assert by_alpha[0.5][index] == pytest.approx(20.4, abs=0.5)
+    assert by_alpha[0.5][index] / by_alpha[0.5][result.p_grid.index(0.1)] == (
+        pytest.approx(2.0, rel=0.02)
+    )
+
+    panel_b = result.panels["b"][0.10]
+    assert panel_b[0].max_sleep > panel_b[0].always_active
+    assert panel_b[-1].max_sleep < panel_b[-1].always_active
+
+    panel_c = result.panels["c"][0.10]
+    assert all(e.max_sleep - e.no_overhead < 0.07 for e in panel_c)
+
+    panel_d = result.panels["d"][0.50]
+    assert all(e.max_sleep >= e.always_active - 1e-12 for e in panel_d)
+    print()
+    print(figure4.render(result))

@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 5c (GradualSleep transition energy).
+
+Paper claims checked: GradualSleep undercuts MaxSleep on short idles and
+AlwaysActive on long ones, and pays a premium near the break-even point.
+"""
+
+import pytest
+
+from repro.experiments import figure5
+
+
+def test_bench_figure5(benchmark):
+    result = benchmark(figure5.run)
+    curves = result.curves
+    n = curves.num_slices
+    assert curves.crossover_interval() == pytest.approx(result.breakeven, abs=1.5)
+    assert curves.gradual_sleep[2] < curves.max_sleep[2]
+    assert curves.gradual_sleep[100] < curves.always_active[100]
+    assert curves.gradual_sleep[n] > curves.max_sleep[n]
+    print()
+    print(figure5.render(result))

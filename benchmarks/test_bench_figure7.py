@@ -1,0 +1,32 @@
+"""Bench: regenerate Figure 7 (idle-interval distribution).
+
+Paper claims checked: ALUs idle roughly half the time (46.8% in the
+paper); most idle intervals fall within the L2 latency (75% in the
+paper); very long intervals are rare; a 32-cycle L2 increases idle time.
+"""
+
+from repro.experiments import figure7
+
+
+def test_bench_figure7(benchmark, medium_scale):
+    result = benchmark.pedantic(
+        figure7.run, kwargs={"scale": medium_scale}, rounds=1, iterations=1
+    )
+    short_l2 = result.distributions[12]
+    long_l2 = result.distributions[32]
+
+    # Overall idleness in the paper's regime (46.8% reported).
+    assert 0.35 < short_l2.overall_idle_fraction < 0.70
+    # Most idle intervals are short (75% within the L2 latency reported).
+    assert short_l2.intervals_within_l2_latency > 0.6
+    # Long intervals are rare.
+    long_mass = sum(
+        fraction
+        for edge, fraction in short_l2.bucket_fractions.items()
+        if edge > 1024
+    )
+    assert long_mass < 0.15 * short_l2.overall_idle_fraction
+    # Slower L2 increases idleness.
+    assert long_l2.overall_idle_fraction > short_l2.overall_idle_fraction
+    print()
+    print(figure7.render(result))

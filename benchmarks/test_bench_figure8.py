@@ -1,0 +1,30 @@
+"""Bench: regenerate Figure 8 (per-benchmark policy energies).
+
+Paper claims checked, at alpha = 0.50:
+
+* p = 0.05 — MaxSleep uses *more* energy than AlwaysActive (the paper
+  reports +8.3% on average) and GradualSleep stays close to
+  AlwaysActive (within ~2% in the paper);
+* p = 0.50 — MaxSleep saves substantially (-19.2% in the paper),
+  capturing most of NoOverhead's potential (~70%), with GradualSleep
+  essentially matching MaxSleep.
+"""
+
+from repro.experiments import figure8
+
+
+def test_bench_figure8(benchmark, medium_scale):
+    result = benchmark.pedantic(
+        figure8.run, kwargs={"scale": medium_scale}, rounds=1, iterations=1
+    )
+
+    low = figure8.summarize(result, 0.05)
+    assert low.max_sleep_vs_always_active > 0.0
+    assert abs(low.gradual_vs_always_active) < 0.08
+
+    high = figure8.summarize(result, 0.50)
+    assert high.max_sleep_vs_always_active < -0.10
+    assert high.max_sleep_fraction_of_potential > 0.55
+    assert abs(high.gradual_vs_max_sleep) < 0.08
+    print()
+    print(figure8.render(result))

@@ -1,0 +1,31 @@
+"""Bench: regenerate Figure 9 (technology sweep and leakage fractions).
+
+Paper claims checked: AlwaysActive degrades steeply with p while
+MaxSleep converges toward NoOverhead; the crossover falls at low p
+(near 0.1-0.2 in the paper); GradualSleep tracks the lower envelope
+across the whole range; the leakage share of total energy grows from
+~13% at p=0.05 toward ~60% at p=0.50 for AlwaysActive.
+"""
+
+from repro.experiments import figure9
+
+
+def test_bench_figure9(benchmark, medium_scale):
+    result = benchmark.pedantic(
+        figure9.run, kwargs={"scale": medium_scale}, rounds=1, iterations=1
+    )
+
+    aa = result.relative_to_no_overhead["AlwaysActive"]
+    ms = result.relative_to_no_overhead["MaxSleep"]
+    gs = result.relative_to_no_overhead["GradualSleep"]
+    assert aa[-1] > aa[0] and aa[-1] > 1.4
+    assert ms[-1] < ms[0] and ms[-1] < 1.12
+    assert figure9.crossover_p(result) <= 0.30
+    for i in range(len(result.p_grid)):
+        assert gs[i] <= min(aa[i], ms[i]) * 1.25
+
+    leak_aa = dict(zip(result.p_grid, result.leakage_fraction["AlwaysActive"]))
+    assert 0.05 < leak_aa[0.05] < 0.35
+    assert 0.45 < leak_aa[0.5] < 0.85
+    print()
+    print(figure9.render(result))

@@ -1,0 +1,28 @@
+"""Bench: regenerate Table 1 (OR8 gate characteristics).
+
+Verifies the calibrated circuit model reproduces every published cell
+and reports the regeneration cost.
+"""
+
+import pytest
+
+from repro.circuits.gates import DominoStyle
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark):
+    result = benchmark(table1.run)
+    for style in DominoStyle:
+        measured = result.measured[style]
+        reference = result.reference[style]
+        assert measured.dynamic_energy_fj == pytest.approx(
+            reference.dynamic_energy_fj, rel=0.01
+        )
+        assert measured.leakage_lo_fj == pytest.approx(
+            reference.leakage_lo_fj, rel=0.01
+        )
+        assert measured.evaluation_delay_ps == pytest.approx(
+            reference.evaluation_delay_ps, abs=0.1
+        )
+    print()
+    print(table1.render(result))

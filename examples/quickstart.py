@@ -1,0 +1,65 @@
+"""Quickstart: the paper's core result in thirty lines.
+
+Characterizes the dual-Vt domino circuit, computes the break-even sleep
+interval at two technology points, simulates one benchmark on the
+Alpha-21264-style machine, and compares the sleep-management policies on
+the measured idle intervals.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.circuits import derive_model_parameters
+from repro.core import EnergyAccountant, TechnologyParameters, breakeven_interval
+from repro.core.policies import paper_policy_suite
+from repro.cpu import get_benchmark, simulate_workload
+
+
+def main() -> None:
+    # 1. What the circuit gives us: Table 1 distilled to three numbers.
+    derived = derive_model_parameters()
+    print("Circuit characterization (dual-Vt OR8 with sleep mode):")
+    print(f"  leakage factor p     = {derived.leakage_factor_p:.4f}")
+    print(f"  sleep ratio k        = {derived.sleep_ratio_k:.2g}")
+    print(f"  sleep overhead e_ovh = {derived.sleep_overhead_ratio:.4f}")
+
+    # 2. When does sleeping pay? The break-even interval at the near-term
+    # (p=0.05) and projected (p=0.50) technology points.
+    alpha = 0.5
+    for p in (0.05, 0.50):
+        params = TechnologyParameters(leakage_factor_p=p)
+        print(
+            f"  break-even idle interval at p={p}: "
+            f"{breakeven_interval(params, alpha):.1f} cycles"
+        )
+
+    # 3. Measure a workload's idle behavior on the Table 2 machine.
+    profile = get_benchmark("gzip")
+    result = simulate_workload(
+        profile, 15_000, warmup_instructions=25_000
+    )
+    stats = result.stats
+    print(f"\ngzip on {stats.num_int_fus} integer FUs:")
+    print(f"  IPC  = {stats.ipc:.2f} (paper: {profile.reference_max_ipc})")
+    print(f"  ALUs idle {stats.alu_idle_fraction():.0%} of the time")
+
+    # 4. Evaluate the paper's four policies on the measured intervals.
+    for p in (0.05, 0.50):
+        params = TechnologyParameters(leakage_factor_p=p)
+        accountant = EnergyAccountant(params, alpha)
+        print(f"\nFU energy vs 100%-compute baseline at p={p}:")
+        for policy in paper_policy_suite(params, alpha):
+            total = 0.0
+            baseline = 0.0
+            for usage in stats.fu_usage:
+                outcome = accountant.evaluate_histogram(
+                    policy, usage.busy_cycles, usage.idle_histogram
+                )
+                total += outcome.total_energy
+                baseline += outcome.baseline_energy
+            print(f"  {policy.name:24s} {total / baseline:.3f}")
+
+
+if __name__ == "__main__":
+    main()

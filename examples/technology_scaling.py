@@ -1,0 +1,89 @@
+"""Technology-scaling study: which policy survives process scaling?
+
+The paper's Figure 9 argument: as leakage grows from today's p ~ 0.05
+toward parity with dynamic energy (p ~ 1), the best simple policy flips
+from AlwaysActive to MaxSleep — and GradualSleep tracks the winner across
+the whole range, so a design hard-wired with GradualSleep keeps working
+as the process scales.
+
+This example sweeps p over a memory-bound (mcf) and a compute-bound
+(vortex) benchmark, printing the winner at each point.
+
+Run with::
+
+    python examples/technology_scaling.py
+"""
+
+from repro.core import EnergyAccountant, TechnologyParameters
+from repro.core.policies import (
+    AlwaysActivePolicy,
+    GradualSleepPolicy,
+    MaxSleepPolicy,
+)
+from repro.cpu import get_benchmark, simulate_workload
+from repro.cpu.config import MachineConfig
+
+ALPHA = 0.5
+P_GRID = (0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.00)
+BENCHMARKS = ("mcf", "vortex")
+
+
+def policy_energies(stats, params):
+    """Total relative energy per policy, summed over the unit pool."""
+    accountant = EnergyAccountant(params, ALPHA)
+    policies = [
+        MaxSleepPolicy(),
+        GradualSleepPolicy.for_technology(params, ALPHA),
+        AlwaysActivePolicy(),
+    ]
+    totals = {}
+    for usage in stats.fu_usage:
+        for policy in policies:
+            outcome = accountant.evaluate_histogram(
+                policy, usage.busy_cycles, usage.idle_histogram
+            )
+            key = "GradualSleep" if policy.name.startswith("Gradual") else policy.name
+            totals[key] = totals.get(key, 0.0) + outcome.total_energy
+    return totals
+
+
+def main() -> None:
+    runs = {}
+    for name in BENCHMARKS:
+        profile = get_benchmark(name)
+        config = MachineConfig().with_int_fus(profile.reference_fus)
+        runs[name] = simulate_workload(
+            profile, 15_000, config=config, warmup_instructions=25_000
+        ).stats
+        print(
+            f"{name}: IPC {runs[name].ipc:.2f}, "
+            f"idle {runs[name].alu_idle_fraction():.0%}"
+        )
+
+    header = f"{'p':>5s}"
+    for name in BENCHMARKS:
+        header += f" | {name+': winner':>16s} {'GS penalty':>10s}"
+    print("\n" + header)
+    print("-" * len(header))
+    for p in P_GRID:
+        params = TechnologyParameters(leakage_factor_p=p)
+        row = f"{p:5.2f}"
+        for name in BENCHMARKS:
+            energies = policy_energies(runs[name], params)
+            best_simple = min(
+                ("MaxSleep", "AlwaysActive"), key=lambda k: energies[k]
+            )
+            # How much does hard-wiring GradualSleep cost vs the best
+            # simple policy chosen with perfect technology knowledge?
+            penalty = energies["GradualSleep"] / energies[best_simple] - 1.0
+            row += f" | {best_simple:>16s} {penalty:+9.1%}"
+        print(row)
+    print(
+        "\nGradualSleep stays within a few percent of whichever boundary "
+        "policy wins,\nwithout knowing the technology point — the paper's "
+        "robustness argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

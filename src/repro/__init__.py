@@ -1,0 +1,46 @@
+"""repro — reproduction of Dropsho et al., "Managing Static Leakage Energy
+in Microprocessor Functional Units" (MICRO-35, 2002).
+
+The library has three layers:
+
+* :mod:`repro.circuits` — dual-Vt domino gate models calibrated to the
+  paper's Table 1, and the 500-gate generic functional-unit circuit,
+* :mod:`repro.core` — the paper's analytical energy model, break-even
+  analysis, and sleep-mode management policies (AlwaysActive, MaxSleep,
+  NoOverhead, GradualSleep, plus predictive extensions),
+* :mod:`repro.cpu` — a trace-driven out-of-order Alpha-21264-style
+  simulator producing the per-functional-unit idle-interval statistics
+  that drive the empirical study,
+
+plus :mod:`repro.experiments`, which regenerates every table and figure in
+the paper's evaluation.
+
+Quickstart::
+
+    from repro.core import TechnologyParameters, breakeven_interval
+    params = TechnologyParameters(leakage_factor_p=0.5)
+    print(breakeven_interval(params, alpha=0.5))  # ~2 cycles at high leakage
+"""
+
+from repro.core import (
+    AlwaysActivePolicy,
+    EnergyAccountant,
+    GradualSleepPolicy,
+    MaxSleepPolicy,
+    NoOverheadPolicy,
+    TechnologyParameters,
+    breakeven_interval,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlwaysActivePolicy",
+    "EnergyAccountant",
+    "GradualSleepPolicy",
+    "MaxSleepPolicy",
+    "NoOverheadPolicy",
+    "TechnologyParameters",
+    "breakeven_interval",
+    "__version__",
+]

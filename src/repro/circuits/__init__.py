@@ -1,0 +1,71 @@
+"""Circuit-level substrate: dual-Vt domino logic gates and the generic FU.
+
+The paper characterizes an 8-input domino OR gate (OR8) in a 70 nm
+technology (Table 1) and then approximates a generic functional unit as 500
+OR8 gates (100 rows of five cascaded stages). This package rebuilds that
+characterization from a parametric transistor/leakage model:
+
+* :mod:`repro.circuits.devices` — transistors and the exponential
+  subthreshold-leakage model,
+* :mod:`repro.circuits.gates` — static CMOS and domino gate models in the
+  three styles the paper compares (low-Vt, dual-Vt, dual-Vt + sleep),
+* :mod:`repro.circuits.library` — the published Table 1 reference numbers,
+* :mod:`repro.circuits.functional_unit` — the 500-gate generic FU with
+  sleep-signal distribution energy (drives Figure 3),
+* :mod:`repro.circuits.characterization` — regenerates Table 1 and derives
+  the architecture-level model parameters (p, k, e_ovh).
+"""
+
+from repro.circuits.devices import (
+    DeviceParameters,
+    Transistor,
+    TransistorPolarity,
+    subthreshold_leakage_current,
+)
+from repro.circuits.functional_unit import (
+    FunctionalUnitCircuit,
+    IdleEnergyCurves,
+    SleepDistributionNetwork,
+    compute_idle_energy_curves,
+)
+from repro.circuits.gates import (
+    DominoGate,
+    DominoStyle,
+    GateCharacterization,
+    StaticCmosGate,
+    build_or8,
+    build_static_and2,
+)
+from repro.circuits.library import (
+    OR8_REFERENCE,
+    GateReferenceData,
+    calibrated_device_parameters,
+)
+from repro.circuits.characterization import (
+    DerivedModelParameters,
+    characterize_or8_styles,
+    derive_model_parameters,
+)
+
+__all__ = [
+    "DerivedModelParameters",
+    "DeviceParameters",
+    "DominoGate",
+    "DominoStyle",
+    "FunctionalUnitCircuit",
+    "GateCharacterization",
+    "GateReferenceData",
+    "IdleEnergyCurves",
+    "OR8_REFERENCE",
+    "SleepDistributionNetwork",
+    "StaticCmosGate",
+    "Transistor",
+    "TransistorPolarity",
+    "build_or8",
+    "build_static_and2",
+    "calibrated_device_parameters",
+    "characterize_or8_styles",
+    "compute_idle_energy_curves",
+    "derive_model_parameters",
+    "subthreshold_leakage_current",
+]

@@ -1,0 +1,148 @@
+"""Transistor-level device model for the 70 nm technology point.
+
+The paper's circuit numbers come from transistor-level simulation of a
+predictive 70 nm process. We do not have that process deck, so we model
+the one physical effect the study depends on — subthreshold leakage that is
+exponential in the threshold voltage — and calibrate the model's scale
+factors so the OR8 gate reproduces the published Table 1 values (see
+:mod:`repro.circuits.library`).
+
+The subthreshold current of an OFF transistor follows the standard
+expression::
+
+    I_leak = I0 * (W / W0) * exp(-Vt / (n * vT))
+
+with ``I0`` the calibrated scale current of a unit-width (``W0``) device at
+``Vt = 0``, ``n`` the subthreshold slope factor, and ``vT = k*T/q`` the
+thermal voltage. Drain-induced barrier lowering and junction leakage are
+folded into the calibration constant; the study only exercises the ratio
+between the two threshold flavors and the absolute per-gate energies, both
+of which the calibration pins down.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+
+class TransistorPolarity(Enum):
+    """NMOS pulls down, PMOS pulls up."""
+
+    NMOS = "nmos"
+    PMOS = "pmos"
+
+
+@dataclass(frozen=True)
+class DeviceParameters:
+    """Technology constants shared by every device on the die.
+
+    Attributes:
+        vdd_v: supply voltage in volts.
+        vt_low_v: low (fast, leaky) threshold voltage in volts.
+        vt_high_v: high (slow, low-leakage) threshold voltage in volts.
+        subthreshold_slope_n: ideality factor ``n`` of the subthreshold slope.
+        thermal_voltage_v: ``kT/q``; 25.9 mV at 300 K.
+        i0_scale_a: leakage of a unit-width device extrapolated to Vt = 0,
+            in amperes. Calibrated against Table 1 (see
+            :func:`repro.circuits.characterization.characterize_or8_styles`).
+        clock_period_s: clock period; the paper assumes a 4 GHz clock.
+    """
+
+    vdd_v: float = 1.0
+    vt_low_v: float = 0.20
+    vt_high_v: float = 0.4515
+    subthreshold_slope_n: float = 1.28
+    thermal_voltage_v: float = 0.0259
+    i0_scale_a: float = 2.07e-6
+    clock_period_s: float = 250e-12
+
+    def __post_init__(self) -> None:
+        if self.vdd_v <= 0:
+            raise ValueError(f"vdd_v must be positive, got {self.vdd_v}")
+        if not 0 < self.vt_low_v < self.vt_high_v:
+            raise ValueError(
+                "thresholds must satisfy 0 < vt_low < vt_high, got "
+                f"{self.vt_low_v} / {self.vt_high_v}"
+            )
+        if self.vt_high_v >= self.vdd_v:
+            raise ValueError("vt_high_v must be below the supply voltage")
+        if self.subthreshold_slope_n < 1.0:
+            raise ValueError("subthreshold slope factor n must be >= 1")
+        if self.thermal_voltage_v <= 0:
+            raise ValueError("thermal voltage must be positive")
+        if self.i0_scale_a <= 0:
+            raise ValueError("i0_scale_a must be positive")
+        if self.clock_period_s <= 0:
+            raise ValueError("clock period must be positive")
+
+    @property
+    def clock_frequency_hz(self) -> float:
+        """Clock frequency implied by the period (4 GHz by default)."""
+        return 1.0 / self.clock_period_s
+
+    def leakage_ratio_high_to_low_vt(self) -> float:
+        """How much leakier a low-Vt device is than a high-Vt device.
+
+        This is the factor the dual-Vt design exploits; for the default
+        parameters it is ~2000, matching the paper's statement that the
+        LO/HI leakage vectors of the dual-Vt OR8 differ by "a factor of
+        2,000".
+        """
+        n_vt = self.subthreshold_slope_n * self.thermal_voltage_v
+        return math.exp((self.vt_high_v - self.vt_low_v) / n_vt)
+
+
+def subthreshold_leakage_current(
+    params: DeviceParameters, vt_v: float, width: float
+) -> float:
+    """Leakage current (A) of an OFF device of given threshold and width.
+
+    ``width`` is in unit-width multiples (W/W0).
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if vt_v <= 0:
+        raise ValueError(f"threshold voltage must be positive, got {vt_v}")
+    n_vt = params.subthreshold_slope_n * params.thermal_voltage_v
+    return params.i0_scale_a * width * math.exp(-vt_v / n_vt)
+
+
+@dataclass(frozen=True)
+class Transistor:
+    """A single device: polarity, threshold flavor, and relative width."""
+
+    name: str
+    polarity: TransistorPolarity
+    vt_v: float
+    width: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"width must be positive, got {self.width}")
+        if self.vt_v <= 0:
+            raise ValueError(f"vt_v must be positive, got {self.vt_v}")
+
+    def leakage_current_a(self, params: DeviceParameters) -> float:
+        """Subthreshold current when this device is OFF."""
+        return subthreshold_leakage_current(params, self.vt_v, self.width)
+
+    def leakage_energy_per_cycle_j(self, params: DeviceParameters) -> float:
+        """Leakage energy dissipated over one clock period when OFF.
+
+        ``E = I_leak * Vdd * T_clk`` — the full supply voltage is across
+        the off device for the whole period in the states we account.
+        """
+        return self.leakage_current_a(params) * params.vdd_v * params.clock_period_s
+
+    def drive_current_a(self, params: DeviceParameters) -> float:
+        """Saturation drive current via the alpha-power law (alpha = 1.3).
+
+        Only relative drive matters for the delay calibration; the scale
+        constant is folded into the gate-level delay fit.
+        """
+        overdrive = params.vdd_v - self.vt_v
+        if overdrive <= 0:
+            return 0.0
+        return self.width * (overdrive ** 1.3)

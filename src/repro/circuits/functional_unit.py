@@ -1,0 +1,219 @@
+"""The generic functional-unit circuit of Section 2.1 (drives Figure 3).
+
+The paper approximates a functional unit as 500 OR8 gates arranged as 100
+rows of five cascaded domino stages. Only the first stage of each row
+carries the added sleep transistor; asserting Sleep discharges the first
+stage, whose falling output ripples the remaining stages into the
+low-leakage state "in a domino fashion". The Sleep signal itself is
+distributed through a buffer tree whose switching energy the paper
+explicitly accounts for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.circuits.devices import DeviceParameters
+from repro.circuits.gates import DominoGate, DominoStyle, build_or8
+from repro.circuits.library import calibrated_device_parameters
+
+
+@dataclass(frozen=True)
+class SleepDistributionNetwork:
+    """Buffer tree distributing the Sleep signal across the FU's rows.
+
+    Each assertion (and de-assertion) of Sleep switches one buffer per row
+    plus the spine wire. The per-row energy is dominated by the local wire
+    and buffer capacitance; 7 fJ per row puts the total distribution cost
+    at 0.7 pJ for the 100-row FU, which places the circuit-level break-even
+    interval at the ~17 cycles the paper reports for alpha = 0.1.
+    """
+
+    rows: int = 100
+    energy_per_row_fj: float = 7.0
+
+    def __post_init__(self) -> None:
+        if self.rows < 1:
+            raise ValueError(f"rows must be >= 1, got {self.rows}")
+        if self.energy_per_row_fj < 0:
+            raise ValueError("per-row energy must be non-negative")
+
+    def assertion_energy_fj(self) -> float:
+        """Energy to toggle the Sleep distribution once."""
+        return self.rows * self.energy_per_row_fj
+
+
+@dataclass(frozen=True)
+class FunctionalUnitCircuit:
+    """A generic FU: ``rows`` x ``stages`` sleep-capable dual-Vt OR8 gates."""
+
+    rows: int = 100
+    stages: int = 5
+    gate: DominoGate = field(
+        default_factory=lambda: build_or8(DominoStyle.DUAL_VT_SLEEP)
+    )
+    sleep_network: SleepDistributionNetwork = field(
+        default_factory=SleepDistributionNetwork
+    )
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.stages < 1:
+            raise ValueError("rows and stages must be >= 1")
+        if not self.gate.style.has_sleep_mode:
+            raise ValueError("the FU circuit requires a sleep-capable gate")
+        if self.sleep_network.rows != self.rows:
+            raise ValueError(
+                f"sleep network spans {self.sleep_network.rows} rows, FU has {self.rows}"
+            )
+
+    @property
+    def num_gates(self) -> int:
+        """500 for the paper's configuration."""
+        return self.rows * self.stages
+
+    @property
+    def num_sleep_transistors(self) -> int:
+        """Only the first stage of each row carries the sleep device."""
+        return self.rows
+
+    # -- per-cycle and per-event energies (fJ) -------------------------------
+
+    def max_dynamic_energy_fj(self, params: DeviceParameters) -> float:
+        """Energy if every gate discharged this cycle (activity = 1)."""
+        return self.num_gates * self.gate.dynamic_energy_fj(params)
+
+    def evaluation_energy_fj(self, params: DeviceParameters, alpha: float) -> float:
+        """Dynamic energy of one evaluation at activity factor ``alpha``."""
+        _check_alpha(alpha)
+        return alpha * self.max_dynamic_energy_fj(params)
+
+    def idle_leakage_per_cycle_fj(
+        self, params: DeviceParameters, alpha: float
+    ) -> float:
+        """Leakage per clock-gated (uncontrolled idle) cycle.
+
+        After the last evaluation a fraction ``alpha`` of the gates sit in
+        the low-leakage state and ``1 - alpha`` in the high-leakage state;
+        clock gating freezes that distribution.
+        """
+        _check_alpha(alpha)
+        lo = self.gate.leakage_energy_lo_fj(params)
+        hi = self.gate.leakage_energy_hi_fj(params)
+        return self.num_gates * (alpha * lo + (1.0 - alpha) * hi)
+
+    def sleep_leakage_per_cycle_fj(self, params: DeviceParameters) -> float:
+        """Leakage per cycle with every gate forced into the LO state."""
+        return self.num_gates * self.gate.leakage_energy_lo_fj(params)
+
+    def sleep_transition_energy_fj(
+        self, params: DeviceParameters, alpha: float
+    ) -> float:
+        """One-time cost of asserting Sleep after an evaluation.
+
+        Forcing sleep discharges the ``1 - alpha`` fraction of dynamic
+        nodes the evaluation left charged (they must be re-precharged on
+        wake-up, so their CV^2 is attributed to the transition), plus the
+        sleep transistors' own switching and the distribution network.
+        """
+        _check_alpha(alpha)
+        overhead = self.gate.sleep_overhead_fj(params)
+        assert overhead is not None  # enforced in __post_init__
+        discharge = (1.0 - alpha) * self.max_dynamic_energy_fj(params)
+        sleep_devices = self.num_sleep_transistors * overhead
+        return discharge + sleep_devices + self.sleep_network.assertion_energy_fj()
+
+    # -- Figure 3 ------------------------------------------------------------
+
+    def idle_energy_uncontrolled_fj(
+        self, params: DeviceParameters, alpha: float, idle_cycles: int
+    ) -> float:
+        """Total energy of an idle period left clock-gated only."""
+        _check_idle(idle_cycles)
+        return idle_cycles * self.idle_leakage_per_cycle_fj(params, alpha)
+
+    def idle_energy_sleep_fj(
+        self, params: DeviceParameters, alpha: float, idle_cycles: int
+    ) -> float:
+        """Total energy of an idle period spent in the sleep mode."""
+        _check_idle(idle_cycles)
+        if idle_cycles == 0:
+            return 0.0
+        transition = self.sleep_transition_energy_fj(params, alpha)
+        return transition + idle_cycles * self.sleep_leakage_per_cycle_fj(params)
+
+    def breakeven_interval_cycles(
+        self, params: DeviceParameters, alpha: float
+    ) -> float:
+        """Idle length at which sleeping starts saving energy (~17 cycles).
+
+        This is the circuit-level analogue of equation (5); it includes
+        the sleep-distribution energy, which the analytical model folds
+        into its pessimistic ``e_ovh``.
+        """
+        transition = self.sleep_transition_energy_fj(params, alpha)
+        per_cycle_saving = self.idle_leakage_per_cycle_fj(
+            params, alpha
+        ) - self.sleep_leakage_per_cycle_fj(params)
+        if per_cycle_saving <= 0:
+            raise ValueError(
+                "sleep state leaks at least as much as uncontrolled idle; "
+                "no break-even exists"
+            )
+        return transition / per_cycle_saving
+
+
+@dataclass(frozen=True)
+class IdleEnergyCurves:
+    """The data behind Figure 3: energy vs idle-interval length."""
+
+    idle_cycles: Tuple[int, ...]
+    uncontrolled_pj: Tuple[float, ...]
+    sleep_pj: Tuple[float, ...]
+    alpha: float
+
+    def crossover_cycle(self) -> Optional[int]:
+        """First interval length where sleeping beats uncontrolled idle."""
+        for cycles, unc, slept in zip(
+            self.idle_cycles, self.uncontrolled_pj, self.sleep_pj
+        ):
+            if slept < unc:
+                return cycles
+        return None
+
+
+def compute_idle_energy_curves(
+    alpha: float,
+    max_idle_cycles: int = 25,
+    circuit: Optional[FunctionalUnitCircuit] = None,
+    params: Optional[DeviceParameters] = None,
+) -> IdleEnergyCurves:
+    """Sweep the idle-interval length for Figure 3 (energies in pJ)."""
+    if circuit is None:
+        circuit = FunctionalUnitCircuit()
+    if params is None:
+        params = calibrated_device_parameters()
+    cycles = tuple(range(max_idle_cycles + 1))
+    uncontrolled: List[float] = []
+    sleep: List[float] = []
+    for n in cycles:
+        uncontrolled.append(
+            circuit.idle_energy_uncontrolled_fj(params, alpha, n) / 1e3
+        )
+        sleep.append(circuit.idle_energy_sleep_fj(params, alpha, n) / 1e3)
+    return IdleEnergyCurves(
+        idle_cycles=cycles,
+        uncontrolled_pj=tuple(uncontrolled),
+        sleep_pj=tuple(sleep),
+        alpha=alpha,
+    )
+
+
+def _check_alpha(alpha: float) -> None:
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"activity factor must be in [0, 1], got {alpha}")
+
+
+def _check_idle(idle_cycles: int) -> None:
+    if idle_cycles < 0:
+        raise ValueError(f"idle cycles must be >= 0, got {idle_cycles}")

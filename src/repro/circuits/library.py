@@ -1,0 +1,127 @@
+"""Published Table 1 reference data and the device-model calibration.
+
+:data:`OR8_REFERENCE` records the numbers printed in the paper's Table 1.
+:func:`calibrated_device_parameters` solves the device model's two free
+scale constants (``i0_scale_a`` and ``vt_high_v``) so that the structural
+OR8 gate of :mod:`repro.circuits.gates` reproduces those numbers exactly;
+everything downstream (Figure 3, the derived p/k/e_ovh model parameters)
+is then computed from the model, not copied from the table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.circuits.devices import DeviceParameters
+from repro.circuits.gates import (
+    OR8_INPUT_WIDTH,
+    OR8_INVERTER_PULLDOWN_WIDTH,
+    OR8_INVERTER_PULLUP_WIDTH,
+    OR8_KEEPER_WIDTH,
+    OR8_NUM_INPUTS,
+    OR8_PRECHARGE_WIDTH,
+    OR8_STACK_FACTOR,
+    DominoStyle,
+)
+
+
+@dataclass(frozen=True)
+class GateReferenceData:
+    """One published row of Table 1 (delays in ps, energies in fJ)."""
+
+    style: DominoStyle
+    evaluation_delay_ps: float
+    sleep_delay_ps: Optional[float]
+    dynamic_energy_fj: float
+    leakage_lo_fj: float
+    leakage_hi_fj: float
+    sleep_overhead_fj: Optional[float]
+
+
+OR8_REFERENCE: Dict[DominoStyle, GateReferenceData] = {
+    DominoStyle.LOW_VT: GateReferenceData(
+        style=DominoStyle.LOW_VT,
+        evaluation_delay_ps=19.3,
+        sleep_delay_ps=None,
+        dynamic_energy_fj=26.7,
+        leakage_lo_fj=1.2,
+        leakage_hi_fj=1.4,
+        sleep_overhead_fj=None,
+    ),
+    DominoStyle.DUAL_VT: GateReferenceData(
+        style=DominoStyle.DUAL_VT,
+        evaluation_delay_ps=15.0,
+        sleep_delay_ps=None,
+        dynamic_energy_fj=22.2,
+        leakage_lo_fj=7.1e-4,
+        leakage_hi_fj=1.4,
+        sleep_overhead_fj=None,
+    ),
+    DominoStyle.DUAL_VT_SLEEP: GateReferenceData(
+        style=DominoStyle.DUAL_VT_SLEEP,
+        evaluation_delay_ps=15.0,
+        sleep_delay_ps=16.0,
+        dynamic_energy_fj=22.2,
+        # With the sleep mode the HI-leakage input vector is avoided
+        # entirely, so Table 1 reports the LO value in both columns.
+        leakage_lo_fj=7.1e-4,
+        leakage_hi_fj=7.1e-4,
+        sleep_overhead_fj=0.14,
+    ),
+}
+
+
+def _evaluation_path_width() -> float:
+    """Effective OFF width of the HI-state (evaluation-path) devices."""
+    stack = OR8_NUM_INPUTS * OR8_INPUT_WIDTH * OR8_STACK_FACTOR
+    return stack + OR8_INVERTER_PULLUP_WIDTH
+
+
+def _precharge_path_width() -> float:
+    """Effective OFF width of the LO-state devices (dual-Vt widths)."""
+    return OR8_PRECHARGE_WIDTH + OR8_KEEPER_WIDTH + OR8_INVERTER_PULLDOWN_WIDTH
+
+
+def calibrated_device_parameters(
+    vdd_v: float = 1.0,
+    vt_low_v: float = 0.20,
+    subthreshold_slope_n: float = 1.28,
+    thermal_voltage_v: float = 0.0259,
+    clock_period_s: float = 250e-12,
+) -> DeviceParameters:
+    """Device parameters that make the OR8 model reproduce Table 1.
+
+    Two constants are solved for:
+
+    * ``i0_scale_a`` — pinned by the dual-Vt HI-state leakage (1.4 fJ per
+      cycle across the 4.2-unit-wide low-Vt evaluation path),
+    * ``vt_high_v`` — pinned by the dual-Vt LO-state leakage (7.1e-4 fJ
+      per cycle across the 3.6-unit-wide high-Vt precharge path).
+
+    The remaining Table 1 entries (low-Vt LO leakage, delays, dynamic
+    energies) then follow from the gate structure without further fitting.
+    """
+    reference = OR8_REFERENCE[DominoStyle.DUAL_VT]
+    n_vt = subthreshold_slope_n * thermal_voltage_v
+
+    # HI state: W_hi * i0 * exp(-vt_low / n_vt) * Vdd * T = E_HI.
+    hi_joules = reference.leakage_hi_fj * 1e-15
+    hi_current = hi_joules / (vdd_v * clock_period_s)
+    i0_scale_a = (hi_current / _evaluation_path_width()) * math.exp(vt_low_v / n_vt)
+
+    # LO state: W_lo * i0 * exp(-vt_high / n_vt) * Vdd * T = E_LO.
+    lo_joules = reference.leakage_lo_fj * 1e-15
+    lo_current = lo_joules / (vdd_v * clock_period_s)
+    vt_high_v = -n_vt * math.log(lo_current / (_precharge_path_width() * i0_scale_a))
+
+    return DeviceParameters(
+        vdd_v=vdd_v,
+        vt_low_v=vt_low_v,
+        vt_high_v=vt_high_v,
+        subthreshold_slope_n=subthreshold_slope_n,
+        thermal_voltage_v=thermal_voltage_v,
+        i0_scale_a=i0_scale_a,
+        clock_period_s=clock_period_s,
+    )

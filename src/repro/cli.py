@@ -1,0 +1,80 @@
+"""Command-line interface: ``python -m repro.cli <experiment> [--quick]``.
+
+Lists and runs the paper's experiments by name. ``all`` runs the full
+set (equivalent to ``python -m repro.experiments.runner``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    figure3,
+    figure4,
+    figure5,
+    figure7,
+    figure8,
+    figure9,
+    runner,
+    table1,
+    table3,
+)
+from repro.experiments.common import DEFAULT_SCALE, QUICK_SCALE, ExperimentScale
+
+
+def _registry(scale: ExperimentScale) -> Dict[str, Callable[[], str]]:
+    return {
+        "table1": lambda: table1.render(table1.run()),
+        "figure3": lambda: figure3.render(figure3.run()),
+        "figure4": lambda: figure4.render(figure4.run()),
+        "figure5": lambda: figure5.render(figure5.run()),
+        "figure7": lambda: figure7.render(figure7.run(scale=scale)),
+        "figure8": lambda: figure8.render(figure8.run(scale=scale)),
+        "figure9": lambda: figure9.render(figure9.run(scale=scale)),
+        "table3": lambda: table3.render(table3.run(scale=scale)),
+        "ablations": lambda: ablations.render_all(scale=scale),
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the tables and figures of Dropsho et al., "
+            "'Managing Static Leakage Energy in Microprocessor "
+            "Functional Units' (MICRO 2002)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_registry(DEFAULT_SCALE)) + ["all", "list"],
+        help="experiment to run, 'all' for everything, 'list' to enumerate",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced simulation windows (smoke-test scale)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = QUICK_SCALE if args.quick else DEFAULT_SCALE
+    registry = _registry(scale)
+    if args.experiment == "list":
+        for name in sorted(registry):
+            print(name)
+        return 0
+    if args.experiment == "all":
+        runner.run_all(scale)
+        return 0
+    print(registry[args.experiment]())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""Histogram-driven energy accounting for the empirical study.
+
+The pipeline simulator reduces each functional unit's lifetime to an
+active-cycle count plus an :class:`~repro.util.intervals.IntervalHistogram`
+of its idle intervals. For the stateless policies this is lossless: the
+outcome of an interval depends only on its length, so energy can be
+accumulated per (length, count) pair — far cheaper than replaying millions
+of cycles. Stateful policies (the predictive extensions) are evaluated on
+ordered interval sequences via
+:func:`repro.core.policies.run_policy_on_intervals`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.core.energy_model import CycleCounts, EnergyBreakdown, relative_energy
+from repro.core.parameters import TechnologyParameters, check_alpha
+from repro.core.policies import SleepPolicy, run_policy_on_intervals
+from repro.util.intervals import IntervalHistogram
+
+
+@dataclass(frozen=True)
+class PolicyResult:
+    """A policy's energy over one unit's lifetime, with normalizations."""
+
+    policy_name: str
+    counts: CycleCounts
+    breakdown: EnergyBreakdown
+    total_cycles: float
+    baseline_energy: float
+
+    @property
+    def total_energy(self) -> float:
+        """Total relative energy (units of E_D)."""
+        return self.breakdown.total
+
+    @property
+    def normalized_energy(self) -> float:
+        """Energy normalized to E_max (100%-computation) — Figure 8's y-axis."""
+        return self.breakdown.total / self.baseline_energy
+
+    @property
+    def leakage_fraction(self) -> float:
+        """Leakage share of total energy — Figure 9b's y-axis."""
+        return self.breakdown.leakage_fraction
+
+
+class EnergyAccountant:
+    """Evaluates sleep policies against measured idle behavior."""
+
+    def __init__(self, params: TechnologyParameters, alpha: float):
+        check_alpha(alpha)
+        self.params = params
+        self.alpha = alpha
+
+    def baseline_energy(self, total_cycles: float) -> float:
+        """E_max: the unit computing on every one of ``total_cycles``."""
+        if total_cycles <= 0:
+            raise ValueError(f"total cycles must be positive, got {total_cycles}")
+        return total_cycles * self.params.active_cycle_energy(self.alpha)
+
+    def evaluate_histogram(
+        self,
+        policy: SleepPolicy,
+        active_cycles: float,
+        histogram: IntervalHistogram,
+    ) -> PolicyResult:
+        """Account a stateless policy against an interval histogram."""
+        if not policy.stateless:
+            raise ValueError(
+                f"policy {policy.name!r} is stateful; use evaluate_sequence"
+            )
+        if active_cycles < 0:
+            raise ValueError(f"active cycles must be >= 0, got {active_cycles}")
+        policy.reset()
+        uncontrolled = 0.0
+        sleep = 0.0
+        transitions = 0.0
+        for length, count in histogram:
+            outcome = policy.on_interval(length)
+            uncontrolled += outcome.uncontrolled_idle * count
+            sleep += outcome.sleep * count
+            transitions += outcome.transitions * count
+        counts = CycleCounts(
+            active=active_cycles,
+            uncontrolled_idle=uncontrolled,
+            sleep=sleep,
+            transitions=transitions,
+        )
+        return self._finish(policy.name, counts, histogram.total_idle_cycles)
+
+    def evaluate_sequence(
+        self,
+        policy: SleepPolicy,
+        active_cycles: float,
+        intervals: Sequence[int],
+    ) -> PolicyResult:
+        """Account any policy (stateful included) against an ordered stream."""
+        run = run_policy_on_intervals(
+            policy, intervals, self.params, self.alpha, active_cycles
+        )
+        idle_cycles = float(sum(intervals))
+        return self._finish(run.policy_name, run.counts, idle_cycles)
+
+    def evaluate_many(
+        self,
+        policies: Iterable[SleepPolicy],
+        active_cycles: float,
+        histogram: IntervalHistogram,
+        interval_sequence: Optional[Sequence[int]] = None,
+    ) -> Dict[str, PolicyResult]:
+        """Evaluate a policy suite; stateful ones need the ordered stream."""
+        results: Dict[str, PolicyResult] = {}
+        for policy in policies:
+            if policy.stateless:
+                result = self.evaluate_histogram(policy, active_cycles, histogram)
+            else:
+                if interval_sequence is None:
+                    raise ValueError(
+                        f"policy {policy.name!r} is stateful and requires "
+                        "interval_sequence"
+                    )
+                result = self.evaluate_sequence(
+                    policy, active_cycles, interval_sequence
+                )
+            results[result.policy_name] = result
+        return results
+
+    def _finish(
+        self, name: str, counts: CycleCounts, idle_cycles: float
+    ) -> PolicyResult:
+        total_cycles = counts.active + idle_cycles
+        breakdown = relative_energy(self.params, self.alpha, counts)
+        return PolicyResult(
+            policy_name=name,
+            counts=counts,
+            breakdown=breakdown,
+            total_cycles=total_cycles,
+            baseline_energy=self.baseline_energy(total_cycles),
+        )

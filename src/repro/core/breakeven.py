@@ -1,0 +1,78 @@
+"""Break-even idle interval: equations (4)-(5) and Figure 4a.
+
+An idle interval of length ``n`` left uncontrolled leaks ``n * q * p``
+(equation 4's left side); spending it asleep costs one transition,
+``(1 - alpha) + e_ovh``, plus ``n * k * p`` of sleep leakage (the right
+side). Equating the two and solving for ``n`` gives equation (5)::
+
+    n_be = ((1 - alpha) + e_ovh) / (p * (1 - alpha) * (1 - k))
+
+The interval shrinks as ~1/p, and is nearly independent of alpha for
+small overhead because both the transition cost and the uncontrolled-idle
+leakage scale with ``1 - alpha`` — the observation Figure 4a illustrates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.core.parameters import TechnologyParameters, check_alpha
+
+
+def breakeven_interval(params: TechnologyParameters, alpha: float) -> float:
+    """Equation (5): the idle length (cycles) where sleeping breaks even.
+
+    Degenerate cases at alpha = 1 (an evaluation already leaves every
+    node in the low-leakage state, so sleeping saves nothing): with zero
+    assert-overhead sleeping is also free — break-even is 0; with
+    positive overhead it never pays back — break-even is ``inf``.
+    """
+    check_alpha(alpha)
+    numerator = (1.0 - alpha) + params.sleep_overhead
+    denominator = (
+        params.leakage_factor_p * (1.0 - alpha) * (1.0 - params.sleep_ratio_k)
+    )
+    if denominator == 0.0:
+        return 0.0 if numerator == 0.0 else math.inf
+    return numerator / denominator
+
+
+def breakeven_interval_from_energies(
+    params: TechnologyParameters, alpha: float
+) -> float:
+    """Break-even computed directly from the per-cycle terms (equation 4).
+
+    ``n * e_uidle = e_trans + n * e_sleep`` solved for ``n``. Must agree
+    with :func:`breakeven_interval`; kept as an independent derivation for
+    the test suite.
+    """
+    savings = params.idle_savings_per_cycle(alpha)
+    if savings <= 0.0:
+        transition = params.transition_energy(alpha)
+        return 0.0 if transition == 0.0 else math.inf
+    return params.transition_energy(alpha) / savings
+
+
+def breakeven_sweep(
+    alphas: Sequence[float],
+    leakage_factors: Sequence[float],
+    sleep_ratio_k: float = 0.001,
+    sleep_overhead: float = 0.01,
+) -> List[Tuple[float, List[float]]]:
+    """Figure 4a: break-even interval vs p, one series per alpha.
+
+    Returns ``[(alpha, [n_be for each p]), ...]``.
+    """
+    series: List[Tuple[float, List[float]]] = []
+    for alpha in alphas:
+        values = []
+        for p in leakage_factors:
+            params = TechnologyParameters(
+                leakage_factor_p=p,
+                sleep_ratio_k=sleep_ratio_k,
+                sleep_overhead=sleep_overhead,
+            )
+            values.append(breakeven_interval(params, alpha))
+        series.append((alpha, values))
+    return series

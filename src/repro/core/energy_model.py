@@ -1,0 +1,163 @@
+"""The total-energy model: cycle taxonomy and equations (1)-(3).
+
+The paper divides run time into three cycle categories — active,
+uncontrolled idle (clock-gated), and sleep — plus a count of transitions
+into the sleep mode. Equation (1) expresses absolute total energy in
+terms of the circuit energies (E_D, E_HI, E_LO, E_ovh); equation (2)
+substitutes ``E_HI = p*E_D`` and ``E_LO = k*E_HI``; equation (3)
+normalizes by ``E_D``. We implement (3) as :func:`relative_energy` and
+(1) as :func:`absolute_energy_fj`; a property test confirms they agree up
+to the ``E_D`` scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.parameters import TechnologyParameters, check_alpha
+
+
+@dataclass(frozen=True)
+class CycleCounts:
+    """How the run's cycles were spent, plus sleep-transition count.
+
+    Counts are accepted as floats because the closed-form policy models of
+    Section 3.1 produce fractional expectations (e.g. ``u * T`` active
+    cycles); simulator-fed counts are integral.
+    """
+
+    active: float
+    uncontrolled_idle: float = 0.0
+    sleep: float = 0.0
+    transitions: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("active", "uncontrolled_idle", "sleep", "transitions"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} count must be non-negative, got {value}")
+        if self.transitions > self.sleep and self.sleep == 0 and self.transitions > 0:
+            raise ValueError("transitions recorded without any sleep cycles")
+
+    @property
+    def total_cycles(self) -> float:
+        """Active + uncontrolled idle + sleep."""
+        return self.active + self.uncontrolled_idle + self.sleep
+
+    def scaled(self, factor: float) -> "CycleCounts":
+        """All counts multiplied by a non-negative factor."""
+        if factor < 0:
+            raise ValueError(f"scale factor must be non-negative, got {factor}")
+        return CycleCounts(
+            active=self.active * factor,
+            uncontrolled_idle=self.uncontrolled_idle * factor,
+            sleep=self.sleep * factor,
+            transitions=self.transitions * factor,
+        )
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Relative energy (units of E_D) split by physical origin.
+
+    ``dynamic`` is switching energy of useful evaluations;
+    ``transition_dynamic`` is the extra precharge energy caused by forcing
+    sleep; ``transition_overhead`` is the sleep-assert/distribution cost;
+    the three ``*_leakage`` terms are static energy by cycle category.
+    The leakage fraction of Figure 9b counts only the leakage terms.
+    """
+
+    dynamic: float
+    active_leakage: float
+    uncontrolled_idle_leakage: float
+    sleep_leakage: float
+    transition_dynamic: float
+    transition_overhead: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.dynamic
+            + self.active_leakage
+            + self.uncontrolled_idle_leakage
+            + self.sleep_leakage
+            + self.transition_dynamic
+            + self.transition_overhead
+        )
+
+    @property
+    def leakage(self) -> float:
+        """All static energy, regardless of cycle category."""
+        return (
+            self.active_leakage
+            + self.uncontrolled_idle_leakage
+            + self.sleep_leakage
+        )
+
+    @property
+    def leakage_fraction(self) -> float:
+        """Leakage over total — the y-axis of Figure 9b."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self.leakage / total
+
+    def plus(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        """Component-wise sum (combining multiple functional units)."""
+        return EnergyBreakdown(
+            dynamic=self.dynamic + other.dynamic,
+            active_leakage=self.active_leakage + other.active_leakage,
+            uncontrolled_idle_leakage=(
+                self.uncontrolled_idle_leakage + other.uncontrolled_idle_leakage
+            ),
+            sleep_leakage=self.sleep_leakage + other.sleep_leakage,
+            transition_dynamic=self.transition_dynamic + other.transition_dynamic,
+            transition_overhead=self.transition_overhead + other.transition_overhead,
+        )
+
+
+ZERO_BREAKDOWN = EnergyBreakdown(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def relative_energy(
+    params: TechnologyParameters, alpha: float, counts: CycleCounts
+) -> EnergyBreakdown:
+    """Equation (3): total energy normalized to E_D, split by origin.
+
+    Active cycles contribute ``alpha`` dynamic switching plus leakage
+    ``(1-D)*p + D*q*p`` (precharge phase in the HI state, evaluate phase in
+    the post-evaluation mix ``q``). Uncontrolled idle cycles leak ``q*p``.
+    Each sleep transition costs ``(1-alpha) + e_ovh`` of dynamic energy,
+    and sleep cycles leak ``k*p``.
+    """
+    check_alpha(alpha)
+    d = params.duty_cycle
+    p = params.leakage_factor_p
+    q = params.state_mix(alpha)
+
+    return EnergyBreakdown(
+        dynamic=counts.active * alpha,
+        active_leakage=counts.active * ((1.0 - d) * p + d * q * p),
+        uncontrolled_idle_leakage=counts.uncontrolled_idle * q * p,
+        sleep_leakage=counts.sleep * params.sleep_cycle_energy(),
+        transition_dynamic=counts.transitions * (1.0 - alpha),
+        transition_overhead=counts.transitions * params.sleep_overhead,
+    )
+
+
+def absolute_energy_fj(
+    params: TechnologyParameters,
+    alpha: float,
+    counts: CycleCounts,
+    dynamic_energy_fj: float,
+) -> float:
+    """Equation (1): absolute total energy in fJ, given E_D.
+
+    Provided for linking the model back to the circuit characterization;
+    equals ``relative_energy(...).total * dynamic_energy_fj`` exactly.
+    """
+    if dynamic_energy_fj <= 0:
+        raise ValueError(
+            f"dynamic energy must be positive, got {dynamic_energy_fj}"
+        )
+    return relative_energy(params, alpha, counts).total * dynamic_energy_fj

@@ -1,0 +1,109 @@
+"""The GradualSleep design of Section 3.2.
+
+The circuit is divided into ``n`` slices fed by a shift register: the
+Sleep signal enters one end, and each idle cycle one more slice drops into
+the sleep mode. De-assertion clears all register bits at once, so the
+whole unit re-activates simultaneously (the AND gates of Figure 5a).
+
+The effect is a hedge between the boundary policies: a short idle pays
+only a prorated share of the transition energy (like AlwaysActive paying
+none), while a long idle converges to the fully-slept state (like
+MaxSleep). The paper matches the slice count to the technology's
+break-even interval so that after ``n_be`` cycles the unit is fully
+asleep; fewer slices push the behavior toward MaxSleep, more toward
+AlwaysActive.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.breakeven import breakeven_interval
+from repro.core.parameters import TechnologyParameters, check_alpha
+
+
+@dataclass(frozen=True)
+class GradualSleepDesign:
+    """A GradualSleep configuration: the number of circuit slices."""
+
+    num_slices: int
+
+    def __post_init__(self) -> None:
+        if self.num_slices < 1:
+            raise ValueError(f"num_slices must be >= 1, got {self.num_slices}")
+
+    @classmethod
+    def for_technology(
+        cls, params: TechnologyParameters, alpha: float
+    ) -> "GradualSleepDesign":
+        """Match the slice count to the break-even interval (the paper's
+        choice), so one slice sleeps per cycle over exactly ``n_be`` cycles.
+        """
+        n_be = breakeven_interval(params, alpha)
+        if math.isinf(n_be):
+            return cls(num_slices=1)
+        return cls(num_slices=max(1, round(n_be)))
+
+    def slices_asleep_during_cycle(self, idle_cycle: int) -> int:
+        """Slices in sleep during the ``idle_cycle``-th idle cycle (1-based).
+
+        The shift register advances one slice per idle cycle, saturating
+        at ``num_slices``.
+        """
+        if idle_cycle < 1:
+            raise ValueError(f"idle cycle index must be >= 1, got {idle_cycle}")
+        return min(idle_cycle, self.num_slices)
+
+    def slices_transitioned(self, interval: float) -> float:
+        """How many slices entered sleep over an idle interval."""
+        if interval < 0:
+            raise ValueError(f"interval must be >= 0, got {interval}")
+        return min(interval, float(self.num_slices))
+
+    def interval_energy(
+        self, params: TechnologyParameters, alpha: float, interval: float
+    ) -> float:
+        """Relative energy of one idle interval under GradualSleep.
+
+        During idle cycle ``t`` a fraction ``min(t, n)/n`` of the unit is
+        asleep (leaking ``k*p`` per slice-cycle) and the rest remains in
+        the uncontrolled-idle mix (leaking ``q*p``); every slice that
+        enters sleep pays its ``1/n`` share of the transition energy.
+        Closed form over the interval:
+
+        * ``L <= n``: sum of ``min(t, n) = L(L+1)/2`` slice-cycles asleep,
+        * ``L >  n``: ``n(n+1)/2`` during the ramp plus ``n(L-n)`` after.
+
+        Fractional ``L`` (from usage-scenario means) is handled by linear
+        interpolation between the integral closed forms.
+        """
+        check_alpha(alpha)
+        if interval < 0:
+            raise ValueError(f"interval must be >= 0, got {interval}")
+        if interval == 0:
+            return 0.0
+
+        n = float(self.num_slices)
+        if interval <= n:
+            asleep_slice_cycles = interval * (interval + 1.0) / 2.0
+        else:
+            asleep_slice_cycles = n * (n + 1.0) / 2.0 + n * (interval - n)
+        total_slice_cycles = interval * n
+        awake_slice_cycles = total_slice_cycles - asleep_slice_cycles
+
+        sleep_leak = (asleep_slice_cycles / n) * params.sleep_cycle_energy()
+        idle_leak = (awake_slice_cycles / n) * params.uncontrolled_idle_energy(alpha)
+        transition = (
+            self.slices_transitioned(interval) / n
+        ) * params.transition_energy(alpha)
+        return sleep_leak + idle_leak + transition
+
+    def interval_sleep_slice_cycles(self, interval: float) -> float:
+        """Slice-cycles spent asleep over an interval (for accounting)."""
+        if interval < 0:
+            raise ValueError(f"interval must be >= 0, got {interval}")
+        n = float(self.num_slices)
+        if interval <= n:
+            return interval * (interval + 1.0) / 2.0
+        return n * (n + 1.0) / 2.0 + n * (interval - n)

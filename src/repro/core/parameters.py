@@ -1,0 +1,117 @@
+"""Technology parameters of the analytical energy model (Section 3).
+
+The model abstracts a functional unit's circuit into four constants:
+
+* ``p`` — the *leakage factor*: per-cycle worst-case (HI-state) leakage
+  energy relative to the maximum dynamic energy, ``E_HI = p * E_D``. The
+  near-term technology point is p = 0.05; the paper sweeps p up to 1.0.
+* ``k`` — the sleep-state ratio ``E_LO = k * E_HI``; 0.001 in the paper
+  (slightly pessimistic vs the ~5e-4 the circuit characterization gives).
+* ``e_ovh`` — energy to assert the sleep devices and distribute the Sleep
+  signal, relative to ``E_D``; 0.01 in the paper (pessimistic vs 0.0063).
+* ``duty_cycle`` — fraction of the clock period the clock is high (the
+  evaluate phase); fixed at 0.5 throughout the paper.
+
+Everything else the model needs comes from the application: the activity
+factor ``alpha`` and the active/idle cycle counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+def check_alpha(alpha: float) -> None:
+    """Validate an activity factor."""
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"activity factor alpha must be in [0, 1], got {alpha}")
+
+
+@dataclass(frozen=True)
+class TechnologyParameters:
+    """The (p, k, e_ovh, D) quadruple of equations (2)-(3)."""
+
+    leakage_factor_p: float
+    sleep_ratio_k: float = 0.001
+    sleep_overhead: float = 0.01
+    duty_cycle: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.leakage_factor_p <= 1.0:
+            raise ValueError(
+                f"leakage factor p must be in (0, 1], got {self.leakage_factor_p}"
+            )
+        if not 0.0 <= self.sleep_ratio_k < 1.0:
+            raise ValueError(
+                f"sleep ratio k must be in [0, 1), got {self.sleep_ratio_k}"
+            )
+        if self.sleep_overhead < 0.0:
+            raise ValueError(
+                f"sleep overhead must be non-negative, got {self.sleep_overhead}"
+            )
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise ValueError(
+                f"duty cycle must be in (0, 1], got {self.duty_cycle}"
+            )
+
+    # -- per-cycle relative energies (normalized to E_D) ---------------------
+    #
+    # With q(alpha) = alpha*k + (1 - alpha) — the state mix a completed
+    # evaluation leaves behind — the model's per-cycle terms are:
+
+    def state_mix(self, alpha: float) -> float:
+        """``q = alpha*k + (1 - alpha)``: post-evaluation leakage weight."""
+        check_alpha(alpha)
+        return alpha * self.sleep_ratio_k + (1.0 - alpha)
+
+    def active_cycle_energy(self, alpha: float) -> float:
+        """Relative energy of one computing cycle.
+
+        ``alpha`` dynamic switching, plus HI-state leakage during the
+        precharge phase (fraction ``1 - D`` of the period, all nodes
+        charged), plus the post-evaluation state mix during the evaluate
+        phase (fraction ``D``).
+        """
+        check_alpha(alpha)
+        d = self.duty_cycle
+        p = self.leakage_factor_p
+        return alpha + (1.0 - d) * p + d * self.state_mix(alpha) * p
+
+    def uncontrolled_idle_energy(self, alpha: float) -> float:
+        """Relative energy of one clock-gated idle cycle.
+
+        Clock gating prevents the precharge, freezing the post-evaluation
+        state mix for the full period (no duty-cycle proration).
+        """
+        return self.state_mix(alpha) * self.leakage_factor_p
+
+    def sleep_cycle_energy(self) -> float:
+        """Relative energy of one cycle in the forced low-leakage state."""
+        return self.sleep_ratio_k * self.leakage_factor_p
+
+    def transition_energy(self, alpha: float) -> float:
+        """Relative one-time cost of entering the sleep mode.
+
+        Discharging the ``1 - alpha`` fraction of nodes the previous
+        evaluation left charged costs their later re-precharge
+        (``(1 - alpha) * E_D``), plus the sleep-assert overhead.
+        """
+        check_alpha(alpha)
+        return (1.0 - alpha) + self.sleep_overhead
+
+    def idle_savings_per_cycle(self, alpha: float) -> float:
+        """Per-cycle saving of sleeping vs uncontrolled idle (may be 0)."""
+        return self.uncontrolled_idle_energy(alpha) - self.sleep_cycle_energy()
+
+
+# The paper's two representative technology points (Section 3.1).
+MODEL_DEFAULTS: Tuple[TechnologyParameters, TechnologyParameters] = (
+    TechnologyParameters(leakage_factor_p=0.05),
+    TechnologyParameters(leakage_factor_p=0.50),
+)
+
+# Activity factors used for the analytic plots (Figures 3-4) and for the
+# empirical study (Figures 8-9) respectively.
+PAPER_ALPHAS_ANALYTIC: Tuple[float, ...] = (0.1, 0.5, 0.9)
+PAPER_ALPHAS_EMPIRICAL: Tuple[float, ...] = (0.25, 0.50, 0.75)

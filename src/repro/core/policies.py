@@ -1,0 +1,292 @@
+"""Event-driven sleep-mode controllers.
+
+Each policy decides, for every idle interval a functional unit
+experiences, how the interval's cycles are spent: left uncontrolled
+(clock-gated only), asleep, or — for GradualSleep — a per-slice mixture.
+The decision is expressed as an :class:`IntervalOutcome` in *unit-cycles*
+(fractions allowed), which the accounting layer converts to energy.
+
+The paper's three boundary policies (AlwaysActive, MaxSleep, NoOverhead)
+and the proposed GradualSleep are stateless per interval. Two additional
+controllers implement the "more complex control strategy" the paper
+argues is unnecessary, so the claim can be tested:
+
+* :class:`PredictiveSleepPolicy` — predicts the next idle length with an
+  exponentially-weighted moving average and sleeps only when the
+  prediction exceeds the break-even interval,
+* :class:`TimeoutSleepPolicy` — waits out a fixed number of uncontrolled
+  cycles before committing to sleep (decay-style hysteresis).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.core.breakeven import breakeven_interval
+from repro.core.energy_model import CycleCounts, EnergyBreakdown, relative_energy
+from repro.core.gradual import GradualSleepDesign
+from repro.core.parameters import TechnologyParameters, check_alpha
+
+
+@dataclass(frozen=True)
+class IntervalOutcome:
+    """How one idle interval was spent, in unit-cycles.
+
+    ``transitions`` is the fraction of a full sleep transition paid
+    (GradualSleep pays ``m/n`` when only ``m`` of ``n`` slices slept).
+    """
+
+    uncontrolled_idle: float
+    sleep: float
+    transitions: float
+
+    def __post_init__(self) -> None:
+        if self.uncontrolled_idle < 0 or self.sleep < 0 or self.transitions < 0:
+            raise ValueError("interval outcome components must be non-negative")
+
+
+class SleepPolicy(ABC):
+    """Base class: maps idle intervals to outcomes, possibly statefully."""
+
+    #: Display name used in experiment tables.
+    name: str = "SleepPolicy"
+
+    #: Stateless policies produce identical outcomes for identical interval
+    #: lengths, enabling histogram-based (rather than sequence-based)
+    #: accounting.
+    stateless: bool = True
+
+    def reset(self) -> None:
+        """Clear any cross-interval state (default: none)."""
+
+    @abstractmethod
+    def on_interval(self, interval: int) -> IntervalOutcome:
+        """Decide how an idle interval of ``interval`` cycles is spent."""
+
+    def _check_interval(self, interval: int) -> None:
+        if interval < 1:
+            raise ValueError(f"idle interval must be >= 1 cycle, got {interval}")
+
+
+class AlwaysActivePolicy(SleepPolicy):
+    """Never assert Sleep; all idle cycles are clock-gated only."""
+
+    name = "AlwaysActive"
+
+    def on_interval(self, interval: int) -> IntervalOutcome:
+        self._check_interval(interval)
+        return IntervalOutcome(
+            uncontrolled_idle=float(interval), sleep=0.0, transitions=0.0
+        )
+
+
+class MaxSleepPolicy(SleepPolicy):
+    """Assert Sleep on every idle opportunity, however short."""
+
+    name = "MaxSleep"
+
+    def on_interval(self, interval: int) -> IntervalOutcome:
+        self._check_interval(interval)
+        return IntervalOutcome(
+            uncontrolled_idle=0.0, sleep=float(interval), transitions=1.0
+        )
+
+
+class NoOverheadPolicy(SleepPolicy):
+    """MaxSleep with free transitions: the unachievable lower bound."""
+
+    name = "NoOverhead"
+
+    def on_interval(self, interval: int) -> IntervalOutcome:
+        self._check_interval(interval)
+        return IntervalOutcome(
+            uncontrolled_idle=0.0, sleep=float(interval), transitions=0.0
+        )
+
+
+class GradualSleepPolicy(SleepPolicy):
+    """The sliced shift-register design of Section 3.2."""
+
+    def __init__(self, design: GradualSleepDesign):
+        self.design = design
+        self.name = f"GradualSleep(n={design.num_slices})"
+
+    @classmethod
+    def for_technology(
+        cls, params: TechnologyParameters, alpha: float
+    ) -> "GradualSleepPolicy":
+        """Slice count matched to the break-even interval, as in the paper."""
+        return cls(GradualSleepDesign.for_technology(params, alpha))
+
+    def on_interval(self, interval: int) -> IntervalOutcome:
+        self._check_interval(interval)
+        n = float(self.design.num_slices)
+        asleep = self.design.interval_sleep_slice_cycles(interval) / n
+        return IntervalOutcome(
+            uncontrolled_idle=float(interval) - asleep,
+            sleep=asleep,
+            transitions=self.design.slices_transitioned(interval) / n,
+        )
+
+
+class BreakevenOraclePolicy(SleepPolicy):
+    """Knows each interval's length in advance; sleeps iff it pays.
+
+    This is the per-interval optimum over {sleep fully, stay awake}: the
+    ``min(E_MaxSleep, E_AlwaysActive)`` combination Section 3.2 names as
+    the best blend of the two boundary policies.
+    """
+
+    def __init__(self, params: TechnologyParameters, alpha: float):
+        check_alpha(alpha)
+        self.threshold = breakeven_interval(params, alpha)
+        self.name = "BreakevenOracle"
+
+    def on_interval(self, interval: int) -> IntervalOutcome:
+        self._check_interval(interval)
+        if interval > self.threshold:
+            return IntervalOutcome(
+                uncontrolled_idle=0.0, sleep=float(interval), transitions=1.0
+            )
+        return IntervalOutcome(
+            uncontrolled_idle=float(interval), sleep=0.0, transitions=0.0
+        )
+
+
+class PredictiveSleepPolicy(SleepPolicy):
+    """EWMA idle-length predictor; sleeps when the prediction pays.
+
+    State: ``prediction`` of the next idle interval's length, updated as
+    ``(1 - w) * prediction + w * observed`` after every interval. The unit
+    sleeps for the whole interval when the prediction exceeds the
+    break-even threshold, otherwise stays in uncontrolled idle — the
+    decision must be made at idle onset, before the true length is known.
+    """
+
+    stateless = False
+
+    def __init__(
+        self,
+        params: TechnologyParameters,
+        alpha: float,
+        ewma_weight: float = 0.5,
+        initial_prediction: float = 0.0,
+    ):
+        check_alpha(alpha)
+        if not 0.0 < ewma_weight <= 1.0:
+            raise ValueError(f"ewma weight must be in (0, 1], got {ewma_weight}")
+        if initial_prediction < 0.0:
+            raise ValueError("initial prediction must be non-negative")
+        self.threshold = breakeven_interval(params, alpha)
+        self.ewma_weight = ewma_weight
+        self.initial_prediction = initial_prediction
+        self.prediction = initial_prediction
+        self.name = f"PredictiveSleep(w={ewma_weight})"
+
+    def reset(self) -> None:
+        self.prediction = self.initial_prediction
+
+    def on_interval(self, interval: int) -> IntervalOutcome:
+        self._check_interval(interval)
+        sleep_now = self.prediction > self.threshold
+        self.prediction = (
+            1.0 - self.ewma_weight
+        ) * self.prediction + self.ewma_weight * interval
+        if sleep_now:
+            return IntervalOutcome(
+                uncontrolled_idle=0.0, sleep=float(interval), transitions=1.0
+            )
+        return IntervalOutcome(
+            uncontrolled_idle=float(interval), sleep=0.0, transitions=0.0
+        )
+
+
+class TimeoutSleepPolicy(SleepPolicy):
+    """Wait ``timeout`` uncontrolled cycles, then sleep for the remainder.
+
+    The cache-decay-style controller: it avoids paying the transition on
+    short intervals at the cost of leaking through every interval's first
+    ``timeout`` cycles.
+    """
+
+    def __init__(self, timeout: int):
+        if timeout < 0:
+            raise ValueError(f"timeout must be >= 0, got {timeout}")
+        self.timeout = timeout
+        self.name = f"TimeoutSleep(t={timeout})"
+
+    def on_interval(self, interval: int) -> IntervalOutcome:
+        self._check_interval(interval)
+        if interval <= self.timeout:
+            return IntervalOutcome(
+                uncontrolled_idle=float(interval), sleep=0.0, transitions=0.0
+            )
+        return IntervalOutcome(
+            uncontrolled_idle=float(self.timeout),
+            sleep=float(interval - self.timeout),
+            transitions=1.0,
+        )
+
+
+@dataclass(frozen=True)
+class PolicyRunResult:
+    """Cycle taxonomy and energy of one policy over one interval stream."""
+
+    policy_name: str
+    counts: CycleCounts
+    breakdown: EnergyBreakdown
+
+    @property
+    def total_energy(self) -> float:
+        return self.breakdown.total
+
+
+def run_policy_on_intervals(
+    policy: SleepPolicy,
+    intervals: Iterable[int],
+    params: TechnologyParameters,
+    alpha: float,
+    active_cycles: float,
+) -> PolicyRunResult:
+    """Drive a policy over an ordered interval stream and account energy.
+
+    Works for stateful policies; resets the policy first so repeated runs
+    are reproducible.
+    """
+    check_alpha(alpha)
+    if active_cycles < 0:
+        raise ValueError(f"active cycles must be >= 0, got {active_cycles}")
+    policy.reset()
+    uncontrolled = 0.0
+    sleep = 0.0
+    transitions = 0.0
+    for interval in intervals:
+        outcome = policy.on_interval(interval)
+        uncontrolled += outcome.uncontrolled_idle
+        sleep += outcome.sleep
+        transitions += outcome.transitions
+    counts = CycleCounts(
+        active=active_cycles,
+        uncontrolled_idle=uncontrolled,
+        sleep=sleep,
+        transitions=transitions,
+    )
+    return PolicyRunResult(
+        policy_name=policy.name,
+        counts=counts,
+        breakdown=relative_energy(params, alpha, counts),
+    )
+
+
+def paper_policy_suite(
+    params: TechnologyParameters, alpha: float
+) -> List[SleepPolicy]:
+    """The four policies of Figures 8-9, in the paper's bar order."""
+    return [
+        MaxSleepPolicy(),
+        GradualSleepPolicy.for_technology(params, alpha),
+        AlwaysActivePolicy(),
+        NoOverheadPolicy(),
+    ]

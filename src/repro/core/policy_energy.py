@@ -1,0 +1,140 @@
+"""Closed-form policy energies under the usage-factor abstraction.
+
+Section 3.1 links the four cycle counts through two scenario parameters:
+the *usage factor* ``u`` (fraction of cycles spent computing) and the
+average idle-interval length ``L``. For a run of ``T`` cycles:
+
+* ``AlwaysActive`` — every idle cycle is uncontrolled:
+  ``n_active = u*T``, ``n_uidle = (1-u)*T``, no sleep (equation 6).
+* ``MaxSleep`` — every idle cycle is a sleep cycle; the number of
+  transitions is ``min(n_active, n_sleep / L)`` — the ``min`` enforces at
+  least one active cycle before each transition (equation 7).
+* ``NoOverhead`` — MaxSleep with free transitions: the unachievable lower
+  bound (equation 8).
+
+All energies are normalized to ``E_max = T * e_active`` — the energy the
+unit would expend computing on every cycle (equation 9) — which is the
+baseline of Figures 4b-4d and 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.energy_model import CycleCounts, relative_energy
+from repro.core.gradual import GradualSleepDesign
+from repro.core.parameters import TechnologyParameters, check_alpha
+
+ALWAYS_ACTIVE = "AlwaysActive"
+MAX_SLEEP = "MaxSleep"
+NO_OVERHEAD = "NoOverhead"
+GRADUAL_SLEEP = "GradualSleep"
+
+
+@dataclass(frozen=True)
+class UsageScenario:
+    """The (T, u, L, alpha) tuple describing an application abstractly."""
+
+    total_cycles: float
+    usage_factor: float
+    mean_idle_interval: float
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if self.total_cycles <= 0:
+            raise ValueError(
+                f"total cycles must be positive, got {self.total_cycles}"
+            )
+        if not 0.0 <= self.usage_factor <= 1.0:
+            raise ValueError(
+                f"usage factor must be in [0, 1], got {self.usage_factor}"
+            )
+        if self.mean_idle_interval < 1.0:
+            raise ValueError(
+                "mean idle interval must be >= 1 cycle, got "
+                f"{self.mean_idle_interval}"
+            )
+        check_alpha(self.alpha)
+
+    @property
+    def active_cycles(self) -> float:
+        return self.usage_factor * self.total_cycles
+
+    @property
+    def idle_cycles(self) -> float:
+        return (1.0 - self.usage_factor) * self.total_cycles
+
+
+def policy_cycle_counts(scenario: UsageScenario, policy: str) -> CycleCounts:
+    """Equations (6)-(8): the cycle taxonomy each boundary policy induces."""
+    active = scenario.active_cycles
+    idle = scenario.idle_cycles
+    if policy == ALWAYS_ACTIVE:
+        return CycleCounts(active=active, uncontrolled_idle=idle)
+    if policy == MAX_SLEEP:
+        transitions = min(active, idle / scenario.mean_idle_interval)
+        return CycleCounts(active=active, sleep=idle, transitions=transitions)
+    if policy == NO_OVERHEAD:
+        return CycleCounts(active=active, sleep=idle, transitions=0.0)
+    raise ValueError(f"unknown closed-form policy {policy!r}")
+
+
+def baseline_energy(params: TechnologyParameters, scenario: UsageScenario) -> float:
+    """Equation (9): E_max — computing on every one of the T cycles."""
+    return scenario.total_cycles * params.active_cycle_energy(scenario.alpha)
+
+
+@dataclass(frozen=True)
+class PolicyEnergies:
+    """Relative energies (normalized to E_max) of the boundary policies."""
+
+    always_active: float
+    max_sleep: float
+    no_overhead: float
+    gradual_sleep: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            ALWAYS_ACTIVE: self.always_active,
+            MAX_SLEEP: self.max_sleep,
+            NO_OVERHEAD: self.no_overhead,
+            GRADUAL_SLEEP: self.gradual_sleep,
+        }
+
+
+def policy_energies(
+    params: TechnologyParameters, scenario: UsageScenario
+) -> PolicyEnergies:
+    """Evaluate all policies on a usage scenario, normalized to E_max.
+
+    GradualSleep is evaluated by treating all idle time as intervals of
+    the scenario's mean length and applying the per-interval slice model
+    of :class:`repro.core.gradual.GradualSleepDesign`.
+    """
+    baseline = baseline_energy(params, scenario)
+    results = {}
+    for policy in (ALWAYS_ACTIVE, MAX_SLEEP, NO_OVERHEAD):
+        counts = policy_cycle_counts(scenario, policy)
+        results[policy] = relative_energy(params, scenario.alpha, counts).total
+
+    design = GradualSleepDesign.for_technology(params, scenario.alpha)
+    active_energy = scenario.active_cycles * params.active_cycle_energy(
+        scenario.alpha
+    )
+    num_intervals = (
+        scenario.idle_cycles / scenario.mean_idle_interval
+        if scenario.idle_cycles > 0
+        else 0.0
+    )
+    gradual_idle = num_intervals * design.interval_energy(
+        params, scenario.alpha, scenario.mean_idle_interval
+    )
+    results[GRADUAL_SLEEP] = active_energy + gradual_idle
+
+    return PolicyEnergies(
+        always_active=results[ALWAYS_ACTIVE] / baseline,
+        max_sleep=results[MAX_SLEEP] / baseline,
+        no_overhead=results[NO_OVERHEAD] / baseline,
+        gradual_sleep=results[GRADUAL_SLEEP] / baseline,
+    )

@@ -1,0 +1,93 @@
+"""Per-interval energy curves: the analytic version of Figures 3 and 5c.
+
+For a single idle interval of length ``L``, each policy's energy is:
+
+* AlwaysActive:  ``L * e_uidle``  (a straight line through the origin),
+* MaxSleep:      ``e_trans + L * e_sleep``  (a step then a near-plateau),
+* GradualSleep:  the slice model of :mod:`repro.core.gradual`.
+
+Figure 5c plots all three against ``L``; the crossing of the first two is
+the break-even interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.core.gradual import GradualSleepDesign
+from repro.core.parameters import TechnologyParameters, check_alpha
+
+
+@dataclass(frozen=True)
+class IntervalEnergyCurves:
+    """Energy of one idle interval vs its length, per policy."""
+
+    intervals: Tuple[int, ...]
+    always_active: Tuple[float, ...]
+    max_sleep: Tuple[float, ...]
+    gradual_sleep: Tuple[float, ...]
+    alpha: float
+    num_slices: int
+
+    def crossover_interval(self) -> Optional[int]:
+        """First length where MaxSleep beats AlwaysActive (break-even)."""
+        for length, aa, ms in zip(self.intervals, self.always_active, self.max_sleep):
+            if ms < aa:
+                return length
+        return None
+
+
+def always_active_interval_energy(
+    params: TechnologyParameters, alpha: float, interval: float
+) -> float:
+    """Energy of an idle interval left uncontrolled."""
+    check_alpha(alpha)
+    if interval < 0:
+        raise ValueError(f"interval must be >= 0, got {interval}")
+    return interval * params.uncontrolled_idle_energy(alpha)
+
+
+def max_sleep_interval_energy(
+    params: TechnologyParameters, alpha: float, interval: float
+) -> float:
+    """Energy of an idle interval spent fully asleep (incl. transition)."""
+    check_alpha(alpha)
+    if interval < 0:
+        raise ValueError(f"interval must be >= 0, got {interval}")
+    if interval == 0:
+        return 0.0
+    return params.transition_energy(alpha) + interval * params.sleep_cycle_energy()
+
+
+def interval_energy_curves(
+    params: TechnologyParameters,
+    alpha: float,
+    max_interval: int = 100,
+    design: Optional[GradualSleepDesign] = None,
+    intervals: Optional[Sequence[int]] = None,
+) -> IntervalEnergyCurves:
+    """Sweep interval length for Figure 5c.
+
+    The GradualSleep slice count defaults to the technology's break-even
+    interval, as in the paper.
+    """
+    if design is None:
+        design = GradualSleepDesign.for_technology(params, alpha)
+    if intervals is None:
+        intervals = range(0, max_interval + 1)
+    lengths = tuple(int(i) for i in intervals)
+    return IntervalEnergyCurves(
+        intervals=lengths,
+        always_active=tuple(
+            always_active_interval_energy(params, alpha, i) for i in lengths
+        ),
+        max_sleep=tuple(
+            max_sleep_interval_energy(params, alpha, i) for i in lengths
+        ),
+        gradual_sleep=tuple(
+            design.interval_energy(params, alpha, i) for i in lengths
+        ),
+        alpha=alpha,
+        num_slices=design.num_slices,
+    )

@@ -1,0 +1,106 @@
+"""Set-associative caches and TLBs (timing-only, LRU replacement).
+
+The pipeline needs hit/miss decisions and latencies, not data. Each set
+is an insertion-ordered dict of tags (Python dicts preserve insertion
+order), giving O(1) LRU lookup/refresh/eviction without a separate
+recency list.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cpu.config import CacheConfig, TlbConfig
+
+
+class SetAssociativeCache:
+    """A single cache level with LRU replacement and write-allocate."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache"):
+        self.config = config
+        self.name = name
+        self._offset_bits = config.line_bytes.bit_length() - 1
+        if 1 << self._offset_bits != config.line_bytes:
+            raise ValueError(
+                f"line size must be a power of two, got {config.line_bytes}"
+            )
+        num_sets = config.num_sets
+        if num_sets & (num_sets - 1):
+            raise ValueError(f"number of sets must be a power of two, got {num_sets}")
+        self._set_mask = num_sets - 1
+        self._set_bits = num_sets.bit_length() - 1
+        self._ways = config.ways
+        self._sets: List[dict] = [dict() for _ in range(num_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def _index_tag(self, address: int) -> tuple:
+        line = address >> self._offset_bits
+        return line & self._set_mask, line >> self._set_bits
+
+    def lookup(self, address: int) -> bool:
+        """Access the cache; returns hit, refreshing LRU and filling on miss."""
+        self.accesses += 1
+        index, tag = self._index_tag(address)
+        entry = self._sets[index]
+        if tag in entry:
+            del entry[tag]  # refresh LRU position
+            entry[tag] = True
+            return True
+        self.misses += 1
+        if len(entry) >= self._ways:
+            del entry[next(iter(entry))]  # evict LRU (oldest insertion)
+        entry[tag] = True
+        return False
+
+    def probe(self, address: int) -> bool:
+        """Non-allocating, non-statistics lookup (for tests/invariants)."""
+        index, tag = self._index_tag(address)
+        return tag in self._sets[index]
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def line_address(self, address: int) -> int:
+        """The line-aligned address containing ``address``."""
+        return address >> self._offset_bits << self._offset_bits
+
+
+class TranslationBuffer:
+    """A TLB: the same LRU set-associative structure over page numbers."""
+
+    def __init__(self, config: TlbConfig, name: str = "tlb"):
+        self.config = config
+        self.name = name
+        self._page_bits = config.page_bytes.bit_length() - 1
+        num_sets = config.num_sets
+        if num_sets & (num_sets - 1):
+            raise ValueError(f"number of sets must be a power of two, got {num_sets}")
+        self._set_mask = num_sets - 1
+        self._set_bits = num_sets.bit_length() - 1
+        self._ways = config.ways
+        self._sets: List[dict] = [dict() for _ in range(num_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, address: int) -> int:
+        """Translate; returns the added latency (0 on hit, miss penalty)."""
+        self.accesses += 1
+        page = address >> self._page_bits
+        index = page & self._set_mask
+        tag = page >> self._set_bits
+        entry = self._sets[index]
+        if tag in entry:
+            del entry[tag]
+            entry[tag] = True
+            return 0
+        self.misses += 1
+        if len(entry) >= self._ways:
+            del entry[next(iter(entry))]
+        entry[tag] = True
+        return self.config.miss_penalty
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0

@@ -1,0 +1,170 @@
+"""Architectural parameters — the paper's Table 2, as a dataclass.
+
+The defaults replicate the Alpha-21264-style configuration used in the
+paper's simulations. The number of integer functional units is the one
+parameter the methodology varies per benchmark (Table 3 restricts each
+application to the minimum FU count achieving >= 95% of its 4-FU IPC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class BranchPredictorConfig:
+    """Combining predictor: bimodal + 2-level gshare, with RAS and BTB."""
+
+    bimodal_entries: int = 2048
+    level1_entries: int = 1024
+    history_bits: int = 10
+    level2_entries: int = 4096
+    meta_entries: int = 1024
+    ras_entries: int = 32
+    btb_sets: int = 4096
+    btb_ways: int = 2
+
+    def __post_init__(self) -> None:
+        for name in (
+            "bimodal_entries",
+            "level1_entries",
+            "level2_entries",
+            "meta_entries",
+        ):
+            value = getattr(self, name)
+            if value < 1 or value & (value - 1):
+                raise ValueError(f"{name} must be a positive power of two, got {value}")
+        if not 1 <= self.history_bits <= 30:
+            raise ValueError(f"history_bits must be in [1, 30], got {self.history_bits}")
+        if self.ras_entries < 0:
+            raise ValueError("ras_entries must be >= 0")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level: size/associativity/line size and hit latency."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int
+    hit_latency: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache geometry values must be positive")
+        if self.size_bytes % (self.ways * self.line_bytes):
+            raise ValueError(
+                "cache size must be divisible by ways * line size "
+                f"({self.size_bytes} / {self.ways} * {self.line_bytes})"
+            )
+        if self.hit_latency < 1:
+            raise ValueError("hit latency must be >= 1 cycle")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class TlbConfig:
+    """A TLB: entries/associativity, page size, and miss penalty."""
+
+    entries: int
+    ways: int
+    page_bytes: int
+    miss_penalty: int
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0 or self.ways <= 0:
+            raise ValueError("TLB geometry values must be positive")
+        if self.entries % self.ways:
+            raise ValueError("TLB entries must be divisible by associativity")
+        if self.page_bytes <= 0 or self.page_bytes & (self.page_bytes - 1):
+            raise ValueError("page size must be a positive power of two")
+        if self.miss_penalty < 0:
+            raise ValueError("miss penalty must be >= 0")
+
+    @property
+    def num_sets(self) -> int:
+        return self.entries // self.ways
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """The full Table 2 machine; defaults reproduce the paper's setup."""
+
+    fetch_queue_entries: int = 8
+    fetch_width: int = 4
+    decode_width: int = 4
+    issue_width: int = 4
+    commit_width: int = 4
+    reorder_buffer_entries: int = 128
+    int_issue_entries: int = 32
+    fp_issue_entries: int = 32
+    int_physical_regs: int = 96
+    fp_physical_regs: int = 96
+    load_queue_entries: int = 32
+    store_queue_entries: int = 32
+    num_int_fus: int = 4
+    num_fp_fus: int = 1
+    num_memory_ports: int = 2
+    branch_mispredict_latency: int = 10
+    memory_latency: int = 80
+    branch_predictor: BranchPredictorConfig = BranchPredictorConfig()
+    l1_icache: CacheConfig = CacheConfig(
+        size_bytes=64 * 1024, ways=4, line_bytes=64, hit_latency=2
+    )
+    l1_dcache: CacheConfig = CacheConfig(
+        size_bytes=64 * 1024, ways=4, line_bytes=64, hit_latency=2
+    )
+    l2_cache: CacheConfig = CacheConfig(
+        size_bytes=2 * 1024 * 1024, ways=8, line_bytes=128, hit_latency=12
+    )
+    itlb: TlbConfig = TlbConfig(
+        entries=256, ways=4, page_bytes=8 * 1024, miss_penalty=30
+    )
+    dtlb: TlbConfig = TlbConfig(
+        entries=512, ways=4, page_bytes=8 * 1024, miss_penalty=30
+    )
+
+    def __post_init__(self) -> None:
+        positive_fields = (
+            "fetch_queue_entries",
+            "fetch_width",
+            "decode_width",
+            "issue_width",
+            "commit_width",
+            "reorder_buffer_entries",
+            "int_issue_entries",
+            "fp_issue_entries",
+            "int_physical_regs",
+            "fp_physical_regs",
+            "load_queue_entries",
+            "store_queue_entries",
+            "num_int_fus",
+            "num_fp_fus",
+            "num_memory_ports",
+        )
+        for name in positive_fields:
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.num_int_fus > 8:
+            raise ValueError("num_int_fus above 8 is not supported")
+        if self.branch_mispredict_latency < 0 or self.memory_latency < 0:
+            raise ValueError("latencies must be >= 0")
+
+    def with_int_fus(self, count: int) -> "MachineConfig":
+        """Copy with a different integer FU count (Table 3 methodology)."""
+        return replace(self, num_int_fus=count)
+
+    def with_l2_latency(self, latency: int) -> "MachineConfig":
+        """Copy with a different L2 hit latency (Figure 7's 12 vs 32)."""
+        return replace(
+            self,
+            l2_cache=CacheConfig(
+                size_bytes=self.l2_cache.size_bytes,
+                ways=self.l2_cache.ways,
+                line_bytes=self.l2_cache.line_bytes,
+                hit_latency=latency,
+            ),
+        )

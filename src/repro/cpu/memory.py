@@ -1,0 +1,70 @@
+"""The two-level memory hierarchy of Table 2.
+
+L1 instruction and data caches back into a unified L2; an L2 miss pays
+the 80-cycle memory latency. Address translation goes through split
+instruction/data TLBs whose misses add a fixed 30-cycle penalty. Misses
+are modeled as latency only (no bandwidth/MSHR contention): the
+out-of-order core overlaps them naturally, which is the behavior the
+idle-interval study depends on.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.caches import SetAssociativeCache, TranslationBuffer
+
+
+class MemoryHierarchy:
+    """L1I + L1D + unified L2 + memory, with I/D TLBs (Table 2).
+
+    ``instruction_fetch_latency`` and ``data_access_latency`` return total
+    access latencies in cycles; misses are non-blocking from the cache's
+    point of view (the pipeline decides what stalls).
+    """
+
+    def __init__(
+        self,
+        l1_icache: SetAssociativeCache,
+        l1_dcache: SetAssociativeCache,
+        l2_cache: SetAssociativeCache,
+        itlb: TranslationBuffer,
+        dtlb: TranslationBuffer,
+        memory_latency: int,
+    ):
+        if memory_latency < 0:
+            raise ValueError("memory latency must be >= 0")
+        self.l1_icache = l1_icache
+        self.l1_dcache = l1_dcache
+        self.l2_cache = l2_cache
+        self.itlb = itlb
+        self.dtlb = dtlb
+        self.memory_latency = memory_latency
+
+    @classmethod
+    def from_machine_config(cls, config) -> "MemoryHierarchy":
+        """Build the hierarchy from a :class:`~repro.cpu.config.MachineConfig`."""
+        return cls(
+            l1_icache=SetAssociativeCache(config.l1_icache, "L1I"),
+            l1_dcache=SetAssociativeCache(config.l1_dcache, "L1D"),
+            l2_cache=SetAssociativeCache(config.l2_cache, "L2"),
+            itlb=TranslationBuffer(config.itlb, "ITLB"),
+            dtlb=TranslationBuffer(config.dtlb, "DTLB"),
+            memory_latency=config.memory_latency,
+        )
+
+    def instruction_fetch_latency(self, pc: int) -> int:
+        """Latency to fetch the line holding ``pc`` (TLB + I-cache path)."""
+        latency = self.itlb.access(pc)
+        if self.l1_icache.lookup(pc):
+            return latency + self.l1_icache.config.hit_latency
+        if self.l2_cache.lookup(pc):
+            return latency + self.l2_cache.config.hit_latency
+        return latency + self.l2_cache.config.hit_latency + self.memory_latency
+
+    def data_access_latency(self, address: int) -> int:
+        """Latency of a load/store data access (TLB + D-cache path)."""
+        latency = self.dtlb.access(address)
+        if self.l1_dcache.lookup(address):
+            return latency + self.l1_dcache.config.hit_latency
+        if self.l2_cache.lookup(address):
+            return latency + self.l2_cache.config.hit_latency
+        return latency + self.l2_cache.config.hit_latency + self.memory_latency

@@ -1,0 +1,107 @@
+"""Simulator façade: workload in, statistics out, with result caching.
+
+The experiments drive many (workload, FU-count, L2-latency) combinations;
+:func:`simulate_workload` memoizes completed runs in-process so, e.g.,
+Figure 7 and Figure 8 share the same simulations, as they do in the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.cpu.config import MachineConfig
+from repro.cpu.pipeline import Pipeline
+from repro.cpu.stats import SimulationStats
+from repro.cpu.workloads import WorkloadProfile, generate_trace
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """A completed run: the workload, the machine, and what was measured."""
+
+    workload_name: str
+    num_instructions: int
+    warmup_instructions: int
+    seed: int
+    config: MachineConfig
+    stats: SimulationStats
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+class Simulator:
+    """Builds traces and runs the pipeline for one workload profile."""
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        config: Optional[MachineConfig] = None,
+        seed: int = 1,
+    ):
+        self.profile = profile
+        self.config = config if config is not None else MachineConfig()
+        self.seed = seed
+
+    def run(
+        self,
+        num_instructions: int,
+        warmup_instructions: int = 0,
+        record_sequences: bool = True,
+    ) -> SimulationResult:
+        """Generate the trace and simulate it to completion.
+
+        The trace covers warmup plus the measured window; statistics are
+        collected only after ``warmup_instructions`` commit.
+        """
+        total = num_instructions + warmup_instructions
+        trace = generate_trace(self.profile, total, seed=self.seed)
+        pipeline = Pipeline(
+            trace, config=self.config, record_sequences=record_sequences
+        )
+        stats = pipeline.run(warmup_instructions=warmup_instructions)
+        return SimulationResult(
+            workload_name=self.profile.name,
+            num_instructions=num_instructions,
+            warmup_instructions=warmup_instructions,
+            seed=self.seed,
+            config=self.config,
+            stats=stats,
+        )
+
+
+_CACHE: Dict[Tuple, SimulationResult] = {}
+
+
+def simulate_workload(
+    profile: WorkloadProfile,
+    num_instructions: int,
+    config: Optional[MachineConfig] = None,
+    seed: int = 1,
+    warmup_instructions: int = 0,
+    use_cache: bool = True,
+) -> SimulationResult:
+    """Run (or reuse) a simulation of ``profile`` on ``config``.
+
+    The cache key covers everything that determines the outcome: profile
+    name, window, warmup, seed, and the machine configuration.
+    """
+    if config is None:
+        config = MachineConfig()
+    key = (profile.name, num_instructions, warmup_instructions, seed, config)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    result = Simulator(profile, config=config, seed=seed).run(
+        num_instructions, warmup_instructions=warmup_instructions
+    )
+    if use_cache:
+        _CACHE[key] = result
+    return result
+
+
+def clear_simulation_cache() -> None:
+    """Drop all memoized simulation results (mainly for tests)."""
+    _CACHE.clear()

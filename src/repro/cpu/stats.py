@@ -1,0 +1,98 @@
+"""Simulation statistics: what the pipeline hands to the energy study.
+
+A :class:`SimulationStats` is the complete measured output of one run:
+cycle/instruction counts, per-functional-unit busy cycles and
+idle-interval histograms (the inputs to the energy accounting of
+Figures 8-9), plus front-end and memory-system rates used for workload
+validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.util.intervals import IntervalHistogram
+
+
+@dataclass
+class FunctionalUnitUsage:
+    """One integer FU's measured activity over the run."""
+
+    unit_id: int
+    busy_cycles: int
+    operations: int
+    idle_histogram: IntervalHistogram
+    idle_intervals: List[int] = field(default_factory=list)
+
+    def idle_cycles(self) -> int:
+        return self.idle_histogram.total_idle_cycles
+
+    def utilization(self, total_cycles: int) -> float:
+        if total_cycles <= 0:
+            raise ValueError("total_cycles must be positive")
+        return self.busy_cycles / total_cycles
+
+
+@dataclass
+class SimulationStats:
+    """Everything measured in one pipeline run."""
+
+    total_cycles: int
+    committed_instructions: int
+    fu_usage: List[FunctionalUnitUsage]
+    branch_lookups: int = 0
+    branch_mispredicts: int = 0
+    fetch_stall_cycles: int = 0
+    cache_accesses: Dict[str, int] = field(default_factory=dict)
+    cache_misses: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.committed_instructions / self.total_cycles
+
+    @property
+    def num_int_fus(self) -> int:
+        return len(self.fu_usage)
+
+    @property
+    def branch_mispredict_rate(self) -> float:
+        if self.branch_lookups == 0:
+            return 0.0
+        return self.branch_mispredicts / self.branch_lookups
+
+    def cache_miss_rate(self, name: str) -> float:
+        accesses = self.cache_accesses.get(name, 0)
+        if accesses == 0:
+            return 0.0
+        return self.cache_misses.get(name, 0) / accesses
+
+    def combined_idle_histogram(self) -> IntervalHistogram:
+        """All integer FUs' idle intervals folded together."""
+        combined = IntervalHistogram()
+        for usage in self.fu_usage:
+            combined.merge(usage.idle_histogram)
+        return combined
+
+    def alu_idle_fraction(self) -> float:
+        """Fraction of FU-cycles idle — Figure 7's headline statistic."""
+        capacity = self.num_int_fus * self.total_cycles
+        if capacity == 0:
+            return 0.0
+        busy = sum(usage.busy_cycles for usage in self.fu_usage)
+        return 1.0 - busy / capacity
+
+    def validate(self) -> None:
+        """Internal consistency checks (used by integration tests)."""
+        if self.total_cycles < 0 or self.committed_instructions < 0:
+            raise ValueError("negative cycle or instruction count")
+        for usage in self.fu_usage:
+            accounted = usage.busy_cycles + usage.idle_cycles()
+            if accounted != self.total_cycles:
+                raise ValueError(
+                    f"unit {usage.unit_id}: busy {usage.busy_cycles} + idle "
+                    f"{usage.idle_cycles()} != total {self.total_cycles}"
+                )

@@ -1,0 +1,171 @@
+"""Shared plumbing for the empirical experiments (Figures 7-9, Table 3).
+
+The empirical experiments all consume the same simulation outputs: for
+each benchmark, the per-functional-unit active-cycle counts and
+idle-interval histograms at that benchmark's Table 3 FU count.
+:func:`collect_benchmark_data` runs (and caches) those simulations once
+at a given scale; Figures 7, 8, and 9 then share them, exactly as the
+paper derives all three from the same runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.accounting import EnergyAccountant, PolicyResult
+from repro.core.parameters import TechnologyParameters
+from repro.core.policies import SleepPolicy
+from repro.cpu.config import MachineConfig
+from repro.cpu.simulator import SimulationResult, simulate_workload
+from repro.cpu.workloads import benchmark_names, get_benchmark
+from repro.util.intervals import IntervalHistogram
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Simulation window sizing for the empirical experiments.
+
+    The paper simulates 50M-150M instruction windows; CPython cannot, so
+    experiments default to windows that reach the same steady state (all
+    workload footprints are sized for it — see DESIGN.md).
+    """
+
+    window_instructions: int = 40_000
+    warmup_instructions: int = 30_000
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.window_instructions < 1_000:
+            raise ValueError("window must be >= 1000 instructions")
+        if self.warmup_instructions < 0:
+            raise ValueError("warmup must be >= 0")
+
+
+DEFAULT_SCALE = ExperimentScale()
+#: Reduced scale for smoke tests and pytest-benchmark runs.
+QUICK_SCALE = ExperimentScale(window_instructions=6_000, warmup_instructions=4_000)
+
+
+@dataclass
+class BenchmarkEnergyData:
+    """One benchmark's simulation output, ready for energy accounting."""
+
+    name: str
+    num_fus: int
+    result: SimulationResult
+
+    @property
+    def total_cycles(self) -> int:
+        return self.result.stats.total_cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.result.stats.ipc
+
+    def per_fu_active_cycles(self) -> List[int]:
+        return [usage.busy_cycles for usage in self.result.stats.fu_usage]
+
+    def per_fu_histograms(self) -> List[IntervalHistogram]:
+        return [usage.idle_histogram for usage in self.result.stats.fu_usage]
+
+    def per_fu_interval_sequences(self) -> List[List[int]]:
+        return [usage.idle_intervals for usage in self.result.stats.fu_usage]
+
+    def evaluate_policies(
+        self,
+        params: TechnologyParameters,
+        alpha: float,
+        policies: Sequence[SleepPolicy],
+    ) -> Dict[str, float]:
+        """Total normalized energy (vs E_max) of each policy, summed over
+        this benchmark's functional units.
+
+        Each FU is controlled independently (as in the paper); the
+        benchmark's energy is the sum over FUs, normalized by the summed
+        E_max baseline.
+        """
+        accountant = EnergyAccountant(params, alpha)
+        totals: Dict[str, float] = {}
+        baseline = 0.0
+        stats = self.result.stats
+        for usage in stats.fu_usage:
+            baseline += accountant.baseline_energy(stats.total_cycles)
+            results = accountant.evaluate_many(
+                policies,
+                active_cycles=usage.busy_cycles,
+                histogram=usage.idle_histogram,
+                interval_sequence=usage.idle_intervals,
+            )
+            for name, result in results.items():
+                totals[name] = totals.get(name, 0.0) + result.total_energy
+        return {name: total / baseline for name, total in totals.items()}
+
+    def evaluate_policy_breakdowns(
+        self,
+        params: TechnologyParameters,
+        alpha: float,
+        policies: Sequence[SleepPolicy],
+    ) -> Dict[str, PolicyResult]:
+        """Per-policy :class:`PolicyResult` with breakdowns summed over FUs.
+
+        Used by Figure 9b, which needs the leakage/total split rather
+        than just totals.
+        """
+        accountant = EnergyAccountant(params, alpha)
+        merged: Dict[str, PolicyResult] = {}
+        stats = self.result.stats
+        for usage in stats.fu_usage:
+            results = accountant.evaluate_many(
+                policies,
+                active_cycles=usage.busy_cycles,
+                histogram=usage.idle_histogram,
+                interval_sequence=usage.idle_intervals,
+            )
+            for name, result in results.items():
+                if name not in merged:
+                    merged[name] = result
+                else:
+                    previous = merged[name]
+                    merged[name] = PolicyResult(
+                        policy_name=name,
+                        counts=previous.counts,  # counts retained per-FU sum below
+                        breakdown=previous.breakdown.plus(result.breakdown),
+                        total_cycles=previous.total_cycles + result.total_cycles,
+                        baseline_energy=(
+                            previous.baseline_energy + result.baseline_energy
+                        ),
+                    )
+        return merged
+
+
+def collect_benchmark_data(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    l2_latency: Optional[int] = None,
+    benchmarks: Optional[Iterable[str]] = None,
+    fu_override: Optional[int] = None,
+) -> List[BenchmarkEnergyData]:
+    """Simulate the suite at each benchmark's Table 3 FU count.
+
+    ``l2_latency`` switches the L2 hit latency (Figure 7 uses 12 and 32);
+    ``fu_override`` forces a fixed FU count (the FU-count ablation).
+    Results are memoized by the simulator layer.
+    """
+    names = list(benchmarks) if benchmarks is not None else benchmark_names()
+    data = []
+    base_config = MachineConfig()
+    if l2_latency is not None:
+        base_config = base_config.with_l2_latency(l2_latency)
+    for name in names:
+        profile = get_benchmark(name)
+        num_fus = fu_override if fu_override is not None else profile.reference_fus
+        config = base_config.with_int_fus(num_fus)
+        result = simulate_workload(
+            profile,
+            scale.window_instructions,
+            config=config,
+            seed=scale.seed,
+            warmup_instructions=scale.warmup_instructions,
+        )
+        data.append(BenchmarkEnergyData(name=name, num_fus=num_fus, result=result))
+    return data

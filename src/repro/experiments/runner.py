@@ -1,0 +1,58 @@
+"""Run every experiment and print the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments.runner            # full scale
+    python -m repro.experiments.runner --quick    # reduced windows
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, List, Tuple
+
+from repro.experiments import ablations, figure3, figure4, figure5, figure7
+from repro.experiments import figure8, figure9, table1, table3
+from repro.experiments.common import DEFAULT_SCALE, QUICK_SCALE, ExperimentScale
+
+
+def _experiments(scale: ExperimentScale) -> List[Tuple[str, Callable[[], str]]]:
+    return [
+        ("Table 1", lambda: table1.render(table1.run())),
+        ("Figure 3", lambda: figure3.render(figure3.run())),
+        ("Figure 4", lambda: figure4.render(figure4.run())),
+        ("Figure 5", lambda: figure5.render(figure5.run())),
+        ("Table 3", lambda: table3.render(table3.run(scale=scale))),
+        ("Figure 7", lambda: figure7.render(figure7.run(scale=scale))),
+        ("Figure 8", lambda: figure8.render(figure8.run(scale=scale))),
+        ("Figure 9", lambda: figure9.render(figure9.run(scale=scale))),
+        ("Ablations", lambda: ablations.render_all(scale=scale)),
+    ]
+
+
+def run_all(scale: ExperimentScale = DEFAULT_SCALE, stream=None) -> None:
+    """Execute every experiment, printing each result as it completes."""
+    out = stream if stream is not None else sys.stdout
+    for name, runner in _experiments(scale):
+        start = time.time()
+        text = runner()
+        elapsed = time.time() - start
+        print(f"\n{'=' * 72}\n{name}  ({elapsed:.1f}s)\n{'=' * 72}", file=out)
+        print(text, file=out)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced simulation windows (for smoke testing)",
+    )
+    args = parser.parse_args()
+    run_all(QUICK_SCALE if args.quick else DEFAULT_SCALE)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,37 @@
+"""Shared utilities: interval statistics, RNG helpers, summaries, tables.
+
+These helpers are deliberately free of any paper-specific semantics so that
+both the analytic core (:mod:`repro.core`) and the microarchitectural
+substrate (:mod:`repro.cpu`) can depend on them without coupling to each
+other.
+"""
+
+from repro.util.intervals import (
+    IntervalHistogram,
+    intervals_from_busy_cycles,
+    log2_bucket,
+    log2_bucket_edges,
+)
+from repro.util.rng import DeterministicRng, derive_seed
+from repro.util.summaries import (
+    arithmetic_mean,
+    geometric_mean,
+    relative_difference,
+    weighted_mean,
+)
+from repro.util.tables import format_series, format_table
+
+__all__ = [
+    "DeterministicRng",
+    "IntervalHistogram",
+    "arithmetic_mean",
+    "derive_seed",
+    "format_series",
+    "format_table",
+    "geometric_mean",
+    "intervals_from_busy_cycles",
+    "log2_bucket",
+    "log2_bucket_edges",
+    "relative_difference",
+    "weighted_mean",
+]

@@ -1,0 +1,172 @@
+"""Idle-interval bookkeeping.
+
+The empirical half of the paper (Figures 7-9) is driven entirely by the
+distribution of *idle intervals* observed at each functional unit: maximal
+runs of consecutive cycles during which a unit performs no computation.
+This module provides the histogram type used to carry those distributions
+from the pipeline simulator to the energy accountant, plus helpers for the
+log2 bucketing used by Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+
+def log2_bucket(interval: int, max_bucket: int = 8192) -> int:
+    """Return the Figure-7 bucket (a power of two) for an idle interval.
+
+    Buckets are the powers of two ``1, 2, 4, ..., max_bucket``; an interval
+    belongs to the smallest bucket that is >= its length. Intervals longer
+    than ``max_bucket`` are accumulated at ``max_bucket``, matching the
+    paper's "short but sharp step at the right of the graph".
+
+    >>> log2_bucket(1)
+    1
+    >>> log2_bucket(3)
+    4
+    >>> log2_bucket(4)
+    4
+    >>> log2_bucket(100000)
+    8192
+    """
+    if interval < 1:
+        raise ValueError(f"idle interval must be >= 1, got {interval}")
+    bucket = 1
+    while bucket < interval and bucket < max_bucket:
+        bucket *= 2
+    return bucket
+
+
+def log2_bucket_edges(max_bucket: int = 8192) -> List[int]:
+    """All bucket labels used by :func:`log2_bucket`, in ascending order."""
+    edges = []
+    bucket = 1
+    while bucket <= max_bucket:
+        edges.append(bucket)
+        bucket *= 2
+    return edges
+
+
+@dataclass
+class IntervalHistogram:
+    """Histogram of idle-interval lengths with exact per-length counts.
+
+    The histogram stores exact counts per interval length (not bucketed), so
+    the energy accounting in :mod:`repro.core.accounting` stays exact; the
+    log2 view needed for Figure 7 is derived on demand.
+    """
+
+    counts: Dict[int, int] = field(default_factory=dict)
+
+    def add(self, interval: int, count: int = 1) -> None:
+        """Record ``count`` occurrences of an idle interval of given length."""
+        if interval < 1:
+            raise ValueError(f"idle interval must be >= 1, got {interval}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self.counts[interval] = self.counts.get(interval, 0) + count
+
+    def extend(self, intervals: Iterable[int]) -> None:
+        """Record every interval from an iterable of lengths."""
+        for interval in intervals:
+            self.add(interval)
+
+    def merge(self, other: "IntervalHistogram") -> None:
+        """Fold another histogram's counts into this one."""
+        for interval, count in other.counts.items():
+            self.counts[interval] = self.counts.get(interval, 0) + count
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(interval_length, count)`` pairs in ascending order."""
+        return iter(sorted(self.counts.items()))
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    @property
+    def num_intervals(self) -> int:
+        """Total number of recorded idle intervals."""
+        return sum(self.counts.values())
+
+    @property
+    def total_idle_cycles(self) -> int:
+        """Sum of cycles across all recorded intervals."""
+        return sum(length * count for length, count in self.counts.items())
+
+    @property
+    def mean_interval(self) -> float:
+        """Average interval length; 0.0 when the histogram is empty."""
+        n = self.num_intervals
+        return self.total_idle_cycles / n if n else 0.0
+
+    def fraction_of_idle_time_within(self, limit: int) -> float:
+        """Fraction of total idle *time* spent in intervals of length <= limit.
+
+        Used for the paper's claim that ~75% of idle time falls within the
+        L2 access latency.
+        """
+        total = self.total_idle_cycles
+        if total == 0:
+            return 0.0
+        within = sum(
+            length * count for length, count in self.counts.items() if length <= limit
+        )
+        return within / total
+
+    def bucketed_time(self, max_bucket: int = 8192) -> Dict[int, int]:
+        """Idle cycles accumulated into Figure-7 log2 buckets."""
+        buckets = {edge: 0 for edge in log2_bucket_edges(max_bucket)}
+        for length, count in self.counts.items():
+            buckets[log2_bucket(length, max_bucket)] += length * count
+        return buckets
+
+    def bucketed_time_fractions(
+        self, total_cycles: int, max_bucket: int = 8192
+    ) -> Dict[int, float]:
+        """Per-bucket idle time as a fraction of ``total_cycles``.
+
+        This is exactly the y-axis of Figure 7: the fraction of the total
+        run time the ALUs spend idle, by (bucketed) interval length.
+        """
+        if total_cycles <= 0:
+            raise ValueError(f"total_cycles must be positive, got {total_cycles}")
+        return {
+            edge: cycles / total_cycles
+            for edge, cycles in self.bucketed_time(max_bucket).items()
+        }
+
+
+def intervals_from_busy_cycles(
+    busy_cycles: Sequence[int], total_cycles: int
+) -> List[int]:
+    """Derive idle-interval lengths from the sorted cycles a unit was busy.
+
+    ``busy_cycles`` must be strictly increasing cycle indices in
+    ``[0, total_cycles)``. Gaps between consecutive busy cycles — plus the
+    leading gap before the first busy cycle and the trailing gap after the
+    last — become idle intervals.
+
+    >>> intervals_from_busy_cycles([2, 3, 7], 10)
+    [2, 3, 2]
+    """
+    if total_cycles < 0:
+        raise ValueError(f"total_cycles must be >= 0, got {total_cycles}")
+    intervals: List[int] = []
+    previous = -1
+    for cycle in busy_cycles:
+        if cycle <= previous:
+            raise ValueError("busy_cycles must be strictly increasing")
+        if cycle >= total_cycles:
+            raise ValueError(
+                f"busy cycle {cycle} out of range for {total_cycles} total cycles"
+            )
+        gap = cycle - previous - 1
+        if gap > 0:
+            intervals.append(gap)
+        previous = cycle
+    trailing = total_cycles - previous - 1
+    if trailing > 0:
+        intervals.append(trailing)
+    return intervals

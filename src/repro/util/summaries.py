@@ -1,0 +1,47 @@
+"""Small statistical summaries used when aggregating benchmark results."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Plain average; raises on an empty sequence."""
+    if not values:
+        raise ValueError("cannot average an empty sequence")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values.
+
+    Used for cross-benchmark energy ratios, where ratios should compose
+    multiplicatively.
+    """
+    if not values:
+        raise ValueError("cannot average an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted average; weights must be non-negative and not all zero."""
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have equal length")
+    if not values:
+        raise ValueError("cannot average an empty sequence")
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be non-negative")
+    total_weight = sum(weights)
+    if total_weight == 0:
+        raise ValueError("weights must not all be zero")
+    return sum(v * w for v, w in zip(values, weights)) / total_weight
+
+
+def relative_difference(value: float, reference: float) -> float:
+    """``(value - reference) / reference``; the paper's "% more energy"."""
+    if reference == 0:
+        raise ValueError("reference must be non-zero")
+    return (value - reference) / reference

@@ -1,0 +1,71 @@
+"""Plain-text table and series rendering for the experiment harness.
+
+Every experiment module prints its result as rows (tables) or aligned
+``x y1 y2 ...`` columns (figure series). Keeping the rendering here keeps
+the experiment modules focused on producing data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def _cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    rendered = [[_cell(value, precision) for value in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("-+-".join("-" * width for width in widths))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Sequence[tuple],
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render figure data: one x column plus one column per named series.
+
+    ``series`` is a sequence of ``(name, values)`` pairs, each ``values``
+    aligned with ``x_values``.
+    """
+    headers = [x_label] + [name for name, _ in series]
+    columns = [list(x_values)] + [list(values) for _, values in series]
+    for name, values in series:
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points for {len(x_values)} x values"
+            )
+    rows = list(zip(*columns))
+    return format_table(headers, rows, title=title, precision=precision)

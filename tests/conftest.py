@@ -1,0 +1,52 @@
+"""Shared fixtures.
+
+Pipeline simulations are the expensive part of the suite, so the small
+reference runs used by many tests are session-scoped and cached.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.library import calibrated_device_parameters
+from repro.core.parameters import TechnologyParameters
+from repro.cpu.config import MachineConfig
+from repro.cpu.simulator import simulate_workload
+from repro.cpu.workloads import get_benchmark
+
+
+@pytest.fixture(scope="session")
+def device_params():
+    """The Table 1-calibrated device parameters."""
+    return calibrated_device_parameters()
+
+
+@pytest.fixture(scope="session")
+def tech_low():
+    """The near-term technology point (p = 0.05)."""
+    return TechnologyParameters(leakage_factor_p=0.05)
+
+
+@pytest.fixture(scope="session")
+def tech_high():
+    """The projected high-leakage point (p = 0.50)."""
+    return TechnologyParameters(leakage_factor_p=0.50)
+
+
+@pytest.fixture(scope="session")
+def small_gzip_run():
+    """A small gzip simulation shared by pipeline/stats/energy tests."""
+    return simulate_workload(
+        get_benchmark("gzip"), 6_000, warmup_instructions=2_000
+    )
+
+
+@pytest.fixture(scope="session")
+def small_mcf_run():
+    """A small memory-bound run (long idle intervals)."""
+    return simulate_workload(
+        get_benchmark("mcf"),
+        5_000,
+        config=MachineConfig().with_int_fus(2),
+        warmup_instructions=2_000,
+    )

@@ -1,0 +1,60 @@
+"""Unit tests for the characterization bridge (circuits -> energy model)."""
+
+import pytest
+
+from repro.circuits.characterization import (
+    DerivedModelParameters,
+    characterize_or8_styles,
+    derive_model_parameters,
+)
+from repro.circuits.gates import DominoStyle, build_or8
+from repro.circuits.library import calibrated_device_parameters
+
+
+class TestCharacterizeStyles:
+    def test_covers_all_styles(self):
+        chars = characterize_or8_styles()
+        assert set(chars) == set(DominoStyle)
+
+    def test_dual_vt_styles_share_dynamic_energy(self):
+        chars = characterize_or8_styles()
+        assert chars[DominoStyle.DUAL_VT].dynamic_energy_fj == pytest.approx(
+            chars[DominoStyle.DUAL_VT_SLEEP].dynamic_energy_fj
+        )
+
+
+class TestDerivedModelParameters:
+    def test_paper_section3_values(self):
+        derived = derive_model_parameters()
+        # The paper: p ~ 1.4/22.2 = 0.063, k ~ 5e-4, e_ovh = 0.14/22.2 ~ 0.006.
+        assert derived.leakage_factor_p == pytest.approx(0.063, abs=0.002)
+        assert derived.sleep_ratio_k == pytest.approx(5.07e-4, rel=0.05)
+        assert derived.sleep_overhead_ratio == pytest.approx(0.0063, abs=0.0005)
+        assert derived.dynamic_energy_fj == pytest.approx(22.2, rel=0.01)
+
+    def test_paper_model_values_are_pessimistic(self):
+        """Table 4's k=0.001 and e_ovh=0.01 must exceed the derived values."""
+        derived = derive_model_parameters()
+        assert 0.001 > derived.sleep_ratio_k
+        assert 0.01 > derived.sleep_overhead_ratio
+
+    def test_requires_sleep_capable_gate(self):
+        params = calibrated_device_parameters()
+        with pytest.raises(ValueError):
+            derive_model_parameters(params, build_or8(DominoStyle.DUAL_VT))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DerivedModelParameters(
+                leakage_factor_p=0.0,
+                sleep_ratio_k=0.001,
+                sleep_overhead_ratio=0.01,
+                dynamic_energy_fj=22.2,
+            )
+        with pytest.raises(ValueError):
+            DerivedModelParameters(
+                leakage_factor_p=0.05,
+                sleep_ratio_k=1.0,
+                sleep_overhead_ratio=0.01,
+                dynamic_energy_fj=22.2,
+            )

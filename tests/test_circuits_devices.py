@@ -1,0 +1,86 @@
+"""Unit tests for the transistor/leakage device model."""
+
+import math
+
+import pytest
+
+from repro.circuits.devices import (
+    DeviceParameters,
+    Transistor,
+    TransistorPolarity,
+    subthreshold_leakage_current,
+)
+
+
+class TestDeviceParameters:
+    def test_defaults_are_valid(self):
+        params = DeviceParameters()
+        assert params.clock_frequency_hz == pytest.approx(4e9)
+
+    def test_leakage_ratio_is_exponential_in_delta_vt(self):
+        params = DeviceParameters()
+        n_vt = params.subthreshold_slope_n * params.thermal_voltage_v
+        expected = math.exp((params.vt_high_v - params.vt_low_v) / n_vt)
+        assert params.leakage_ratio_high_to_low_vt() == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceParameters(vdd_v=0)
+        with pytest.raises(ValueError):
+            DeviceParameters(vt_low_v=0.5, vt_high_v=0.4)
+        with pytest.raises(ValueError):
+            DeviceParameters(vt_high_v=1.5)  # above Vdd
+        with pytest.raises(ValueError):
+            DeviceParameters(subthreshold_slope_n=0.9)
+        with pytest.raises(ValueError):
+            DeviceParameters(i0_scale_a=-1)
+
+
+class TestSubthresholdLeakage:
+    def test_scales_linearly_with_width(self):
+        params = DeviceParameters()
+        one = subthreshold_leakage_current(params, 0.3, 1.0)
+        three = subthreshold_leakage_current(params, 0.3, 3.0)
+        assert three == pytest.approx(3 * one)
+
+    def test_decreases_exponentially_with_vt(self):
+        params = DeviceParameters()
+        low = subthreshold_leakage_current(params, params.vt_low_v, 1.0)
+        high = subthreshold_leakage_current(params, params.vt_high_v, 1.0)
+        assert low / high == pytest.approx(params.leakage_ratio_high_to_low_vt())
+
+    def test_rejects_bad_args(self):
+        params = DeviceParameters()
+        with pytest.raises(ValueError):
+            subthreshold_leakage_current(params, 0.3, 0.0)
+        with pytest.raises(ValueError):
+            subthreshold_leakage_current(params, -0.1, 1.0)
+
+
+class TestTransistor:
+    def test_leakage_energy_is_current_times_vdd_times_period(self):
+        params = DeviceParameters()
+        device = Transistor("t", TransistorPolarity.NMOS, 0.3, 2.0)
+        current = device.leakage_current_a(params)
+        energy = device.leakage_energy_per_cycle_j(params)
+        assert energy == pytest.approx(
+            current * params.vdd_v * params.clock_period_s
+        )
+
+    def test_drive_current_grows_with_overdrive(self):
+        params = DeviceParameters()
+        fast = Transistor("f", TransistorPolarity.NMOS, params.vt_low_v)
+        slow = Transistor("s", TransistorPolarity.NMOS, params.vt_high_v)
+        assert fast.drive_current_a(params) > slow.drive_current_a(params)
+
+    def test_no_drive_above_vdd_threshold(self):
+        params = DeviceParameters()
+        dead = Transistor("d", TransistorPolarity.NMOS, 0.44, 1.0)
+        weak_params = DeviceParameters(vdd_v=0.4, vt_low_v=0.2, vt_high_v=0.3)
+        assert dead.drive_current_a(weak_params) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Transistor("t", TransistorPolarity.NMOS, 0.3, width=0)
+        with pytest.raises(ValueError):
+            Transistor("t", TransistorPolarity.NMOS, vt_v=0)

@@ -1,0 +1,108 @@
+"""Unit tests for the 500-gate generic FU circuit (Figure 3)."""
+
+import pytest
+
+from repro.circuits.functional_unit import (
+    FunctionalUnitCircuit,
+    SleepDistributionNetwork,
+    compute_idle_energy_curves,
+)
+from repro.circuits.gates import DominoStyle, build_or8
+from repro.circuits.library import calibrated_device_parameters
+
+
+@pytest.fixture(scope="module")
+def params():
+    return calibrated_device_parameters()
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return FunctionalUnitCircuit()
+
+
+class TestStructure:
+    def test_paper_configuration(self, circuit):
+        assert circuit.num_gates == 500
+        assert circuit.rows == 100
+        assert circuit.stages == 5
+        assert circuit.num_sleep_transistors == 100
+
+    def test_requires_sleep_capable_gate(self):
+        with pytest.raises(ValueError):
+            FunctionalUnitCircuit(gate=build_or8(DominoStyle.DUAL_VT))
+
+    def test_sleep_network_must_span_rows(self):
+        with pytest.raises(ValueError):
+            FunctionalUnitCircuit(
+                rows=50, sleep_network=SleepDistributionNetwork(rows=100)
+            )
+
+
+class TestEnergies:
+    def test_max_dynamic_energy(self, circuit, params):
+        assert circuit.max_dynamic_energy_fj(params) == pytest.approx(
+            500 * 22.2, rel=0.01
+        )
+
+    def test_evaluation_energy_scales_with_alpha(self, circuit, params):
+        full = circuit.evaluation_energy_fj(params, 1.0)
+        half = circuit.evaluation_energy_fj(params, 0.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_idle_leakage_interpolates_between_states(self, circuit, params):
+        all_hi = circuit.idle_leakage_per_cycle_fj(params, 0.0)
+        all_lo = circuit.idle_leakage_per_cycle_fj(params, 1.0)
+        mid = circuit.idle_leakage_per_cycle_fj(params, 0.5)
+        assert all_lo < mid < all_hi
+        assert mid == pytest.approx((all_hi + all_lo) / 2)
+
+    def test_sleep_leakage_below_any_idle_leakage(self, circuit, params):
+        assert circuit.sleep_leakage_per_cycle_fj(
+            params
+        ) < circuit.idle_leakage_per_cycle_fj(params, 0.99)
+
+    def test_transition_cost_decreases_with_alpha(self, circuit, params):
+        low = circuit.sleep_transition_energy_fj(params, 0.1)
+        high = circuit.sleep_transition_energy_fj(params, 0.9)
+        assert high < low
+
+    def test_alpha_validation(self, circuit, params):
+        with pytest.raises(ValueError):
+            circuit.evaluation_energy_fj(params, 1.5)
+
+
+class TestFigure3Claims:
+    """The paper's quantitative claims about the FU circuit."""
+
+    def test_breakeven_is_17_cycles_at_alpha_01(self, circuit, params):
+        breakeven = circuit.breakeven_interval_cycles(params, 0.1)
+        assert breakeven == pytest.approx(17.0, abs=0.5)
+
+    def test_breakeven_relatively_insensitive_to_alpha(self, circuit, params):
+        b01 = circuit.breakeven_interval_cycles(params, 0.1)
+        b05 = circuit.breakeven_interval_cycles(params, 0.5)
+        assert abs(b05 - b01) < 2.0
+
+    def test_sleep_curve_plateaus_and_idle_curve_is_linear(self, params):
+        curves = compute_idle_energy_curves(0.5, max_idle_cycles=20)
+        unc = curves.uncontrolled_pj
+        slept = curves.sleep_pj
+        # Uncontrolled idle grows linearly from the origin.
+        assert unc[0] == 0.0
+        slope1 = unc[1] - unc[0]
+        slope2 = unc[20] - unc[19]
+        assert slope1 == pytest.approx(slope2)
+        # Sleep jumps then plateaus (per-cycle increment tiny).
+        assert slept[1] > 100 * (slept[20] - slept[19])
+
+    def test_crossover_matches_breakeven(self, circuit, params):
+        curves = compute_idle_energy_curves(0.1, max_idle_cycles=25)
+        breakeven = circuit.breakeven_interval_cycles(params, 0.1)
+        crossover = curves.crossover_cycle()
+        assert crossover is not None
+        assert crossover == pytest.approx(breakeven, abs=1.0)
+
+    def test_zero_interval_energies_are_zero(self, circuit, params):
+        assert circuit.idle_energy_uncontrolled_fj(params, 0.5, 0) == 0.0
+        assert circuit.idle_energy_sleep_fj(params, 0.5, 0) == 0.0

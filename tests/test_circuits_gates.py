@@ -1,0 +1,114 @@
+"""Unit tests for the domino gate models (Table 1 reproduction)."""
+
+import pytest
+
+from repro.circuits.gates import (
+    DominoGate,
+    DominoStyle,
+    build_or8,
+    build_static_and2,
+)
+from repro.circuits.library import OR8_REFERENCE, calibrated_device_parameters
+
+
+@pytest.fixture(scope="module")
+def params():
+    return calibrated_device_parameters()
+
+
+class TestTable1Reproduction:
+    """The calibrated model must reproduce every published Table 1 entry."""
+
+    @pytest.mark.parametrize("style", list(DominoStyle))
+    def test_energies_match_published(self, params, style):
+        measured = build_or8(style).characterize(params)
+        reference = OR8_REFERENCE[style]
+        assert measured.dynamic_energy_fj == pytest.approx(
+            reference.dynamic_energy_fj, rel=0.01
+        )
+        assert measured.leakage_lo_fj == pytest.approx(
+            reference.leakage_lo_fj, rel=0.01
+        )
+        assert measured.leakage_hi_fj == pytest.approx(
+            reference.leakage_hi_fj, rel=0.01
+        )
+
+    @pytest.mark.parametrize("style", list(DominoStyle))
+    def test_delays_match_published(self, params, style):
+        measured = build_or8(style).characterize(params)
+        reference = OR8_REFERENCE[style]
+        assert measured.evaluation_delay_ps == pytest.approx(
+            reference.evaluation_delay_ps, abs=0.1
+        )
+        if reference.sleep_delay_ps is None:
+            assert measured.sleep_delay_ps is None
+        else:
+            assert measured.sleep_delay_ps == pytest.approx(
+                reference.sleep_delay_ps, abs=0.1
+            )
+
+    def test_sleep_overhead_matches_published(self, params):
+        measured = build_or8(DominoStyle.DUAL_VT_SLEEP).characterize(params)
+        assert measured.sleep_overhead_fj == pytest.approx(0.14, rel=0.01)
+
+    def test_leakage_ratio_is_about_2000(self, params):
+        gate = build_or8(DominoStyle.DUAL_VT)
+        ratio = gate.leakage_energy_hi_fj(params) / gate.leakage_energy_lo_fj(params)
+        assert 1800 < ratio < 2200
+
+
+class TestGateStructure:
+    def test_sleep_device_only_in_sleep_style(self, params):
+        assert build_or8(DominoStyle.LOW_VT).sleep_device(params) is None
+        assert build_or8(DominoStyle.DUAL_VT).sleep_device(params) is None
+        sleep = build_or8(DominoStyle.DUAL_VT_SLEEP).sleep_device(params)
+        assert sleep is not None
+        assert sleep.vt_v == params.vt_high_v  # off the critical path
+
+    def test_sleep_adds_negligible_hi_leakage(self, params):
+        plain = build_or8(DominoStyle.DUAL_VT)
+        with_sleep = build_or8(DominoStyle.DUAL_VT_SLEEP)
+        extra = with_sleep.leakage_energy_hi_fj(params) - plain.leakage_energy_hi_fj(
+            params
+        )
+        assert 0 < extra < 0.01 * plain.leakage_energy_hi_fj(params)
+
+    def test_sleep_does_not_change_evaluation_delay(self, params):
+        plain = build_or8(DominoStyle.DUAL_VT)
+        with_sleep = build_or8(DominoStyle.DUAL_VT_SLEEP)
+        assert with_sleep.evaluation_delay_ps(params) == pytest.approx(
+            plain.evaluation_delay_ps(params)
+        )
+
+    def test_low_vt_gate_is_slower_and_hungrier(self, params):
+        low = build_or8(DominoStyle.LOW_VT)
+        dual = build_or8(DominoStyle.DUAL_VT)
+        assert low.evaluation_delay_ps(params) > dual.evaluation_delay_ps(params)
+        assert low.dynamic_energy_fj(params) > dual.dynamic_energy_fj(params)
+
+    def test_characterize_reports_lo_for_sleep_style_hi_column(self, params):
+        char = build_or8(DominoStyle.DUAL_VT_SLEEP).characterize(params)
+        assert char.leakage_hi_fj == char.leakage_lo_fj
+
+    def test_derived_ratios(self, params):
+        char = build_or8(DominoStyle.DUAL_VT).characterize(params)
+        assert char.leakage_factor_p == pytest.approx(1.4 / 22.2, rel=0.01)
+        assert char.sleep_ratio_k == pytest.approx(7.1e-4 / 1.4, rel=0.01)
+
+    def test_invalid_gate_configs(self):
+        with pytest.raises(ValueError):
+            DominoGate(name="bad", style=DominoStyle.DUAL_VT, num_inputs=0)
+        with pytest.raises(ValueError):
+            DominoGate(name="bad", style=DominoStyle.DUAL_VT, stack_factor=0.0)
+
+
+class TestStaticCmosGate:
+    def test_loads_inputs_more_than_domino(self, params):
+        static = build_static_and2()
+        domino = build_or8(DominoStyle.DUAL_VT)
+        assert static.input_capacitance_ratio_vs_domino(domino) > 1.0
+
+    def test_has_positive_energies(self, params):
+        static = build_static_and2()
+        assert static.leakage_energy_fj(params) > 0
+        assert static.dynamic_energy_fj(params) > 0

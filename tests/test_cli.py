@@ -1,0 +1,39 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro import cli
+
+
+class TestParser:
+    def test_known_experiments(self):
+        parser = cli.build_parser()
+        args = parser.parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert not args.quick
+
+    def test_quick_flag(self):
+        args = cli.build_parser().parse_args(["figure7", "--quick"])
+        assert args.quick
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["figure99"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "figure3", "figure9", "ablations"):
+            assert name in out
+
+    def test_analytic_experiment_runs(self, capsys):
+        assert cli.main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "OR8 gate characteristics" in out
+
+    def test_empirical_experiment_quick(self, capsys):
+        assert cli.main(["figure7", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out

@@ -1,0 +1,129 @@
+"""Unit tests for histogram-driven energy accounting."""
+
+import pytest
+
+from repro.core.accounting import EnergyAccountant
+from repro.core.parameters import TechnologyParameters
+from repro.core.policies import (
+    AlwaysActivePolicy,
+    GradualSleepPolicy,
+    MaxSleepPolicy,
+    NoOverheadPolicy,
+    PredictiveSleepPolicy,
+)
+from repro.core.gradual import GradualSleepDesign
+from repro.util.intervals import IntervalHistogram
+
+
+@pytest.fixture
+def params():
+    return TechnologyParameters(leakage_factor_p=0.5)
+
+
+@pytest.fixture
+def histogram():
+    hist = IntervalHistogram()
+    hist.add(2, count=10)
+    hist.add(15, count=4)
+    hist.add(120, count=1)
+    return hist
+
+
+class TestEvaluateHistogram:
+    def test_histogram_equals_sequence_for_stateless(self, params, histogram):
+        """Histogram accounting must agree exactly with sequence replay."""
+        accountant = EnergyAccountant(params, 0.5)
+        sequence = []
+        for length, count in histogram:
+            sequence.extend([length] * count)
+        for policy_maker in (MaxSleepPolicy, AlwaysActivePolicy, NoOverheadPolicy):
+            h = accountant.evaluate_histogram(policy_maker(), 100, histogram)
+            s = accountant.evaluate_sequence(policy_maker(), 100, sequence)
+            assert h.total_energy == pytest.approx(s.total_energy)
+            assert h.total_cycles == pytest.approx(s.total_cycles)
+
+    def test_gradual_histogram_matches_sequence(self, params, histogram):
+        accountant = EnergyAccountant(params, 0.5)
+        policy = GradualSleepPolicy(GradualSleepDesign(num_slices=8))
+        sequence = []
+        for length, count in histogram:
+            sequence.extend([length] * count)
+        h = accountant.evaluate_histogram(policy, 50, histogram)
+        s = accountant.evaluate_sequence(policy, 50, sequence)
+        assert h.total_energy == pytest.approx(s.total_energy)
+
+    def test_stateful_policy_rejected(self, params, histogram):
+        accountant = EnergyAccountant(params, 0.5)
+        with pytest.raises(ValueError):
+            accountant.evaluate_histogram(
+                PredictiveSleepPolicy(params, 0.5), 10, histogram
+            )
+
+    def test_cycle_conservation(self, params, histogram):
+        accountant = EnergyAccountant(params, 0.5)
+        result = accountant.evaluate_histogram(MaxSleepPolicy(), 100, histogram)
+        assert result.counts.total_cycles == pytest.approx(
+            100 + histogram.total_idle_cycles
+        )
+        assert result.total_cycles == pytest.approx(
+            100 + histogram.total_idle_cycles
+        )
+
+
+class TestNormalization:
+    def test_baseline_is_e_max(self, params):
+        accountant = EnergyAccountant(params, 0.5)
+        assert accountant.baseline_energy(1000) == pytest.approx(
+            1000 * params.active_cycle_energy(0.5)
+        )
+        with pytest.raises(ValueError):
+            accountant.baseline_energy(0)
+
+    def test_normalized_energy_below_one_when_idle(self, params, histogram):
+        """A unit that idles must use less than the 100%-compute baseline."""
+        accountant = EnergyAccountant(params, 0.5)
+        for policy in (MaxSleepPolicy(), AlwaysActivePolicy(), NoOverheadPolicy()):
+            result = accountant.evaluate_histogram(policy, 100, histogram)
+            assert result.normalized_energy < 1.0
+
+    def test_leakage_fraction_in_range(self, params, histogram):
+        accountant = EnergyAccountant(params, 0.5)
+        result = accountant.evaluate_histogram(AlwaysActivePolicy(), 100, histogram)
+        assert 0.0 < result.leakage_fraction < 1.0
+
+
+class TestEvaluateMany:
+    def test_mixed_suite(self, params, histogram):
+        accountant = EnergyAccountant(params, 0.5)
+        sequence = []
+        for length, count in histogram:
+            sequence.extend([length] * count)
+        policies = [
+            MaxSleepPolicy(),
+            AlwaysActivePolicy(),
+            PredictiveSleepPolicy(params, 0.5),
+        ]
+        results = accountant.evaluate_many(
+            policies, 100, histogram, interval_sequence=sequence
+        )
+        assert len(results) == 3
+        assert all(r.total_energy > 0 for r in results.values())
+
+    def test_stateful_without_sequence_rejected(self, params, histogram):
+        accountant = EnergyAccountant(params, 0.5)
+        with pytest.raises(ValueError):
+            accountant.evaluate_many(
+                [PredictiveSleepPolicy(params, 0.5)], 100, histogram
+            )
+
+    def test_ordering_invariant(self, params, histogram):
+        """NoOverhead <= MaxSleep always; at p=0.5 MaxSleep beats AA on
+        intervals longer than break-even (~2 cycles)."""
+        accountant = EnergyAccountant(params, 0.5)
+        results = accountant.evaluate_many(
+            [MaxSleepPolicy(), AlwaysActivePolicy(), NoOverheadPolicy()],
+            100,
+            histogram,
+        )
+        assert results["NoOverhead"].total_energy <= results["MaxSleep"].total_energy
+        assert results["MaxSleep"].total_energy < results["AlwaysActive"].total_energy

@@ -1,0 +1,96 @@
+"""Unit tests for value-based activity-factor estimation."""
+
+import pytest
+
+from repro.core.activity import (
+    MIXED_VALUES,
+    ONE_DOMINATED,
+    ZERO_DOMINATED,
+    OperandValueModel,
+    bit_density,
+    estimate_alpha_from_values,
+    or_gate_discharge_probability,
+)
+
+
+class TestBitDensity:
+    def test_zero_values(self):
+        assert bit_density([0, 0, 0], bits=8) == 0.0
+
+    def test_all_ones(self):
+        assert bit_density([0xFF], bits=8) == 1.0
+
+    def test_negative_values_sign_extend_to_ones(self):
+        # -1 in two's complement is all ones at any width.
+        assert bit_density([-1], bits=16) == 1.0
+        # A small negative number is ones-dominated.
+        assert bit_density([-2], bits=16) == pytest.approx(15 / 16)
+
+    def test_small_positive_values_are_zero_dominated(self):
+        density = bit_density([3, 5, 7], bits=64)
+        assert density < 0.05
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bit_density([], bits=8)
+
+
+class TestOrGateDischarge:
+    def test_endpoints(self):
+        assert or_gate_discharge_probability(0.0, 8) == 0.0
+        assert or_gate_discharge_probability(1.0, 8) == 1.0
+
+    def test_fan_in_increases_discharge(self):
+        low = or_gate_discharge_probability(0.1, 2)
+        high = or_gate_discharge_probability(0.1, 8)
+        assert high > low
+
+    def test_uniform_bits_give_high_alpha_for_or8(self):
+        # 1 - 0.5^8: an OR8 over random bits almost always discharges.
+        assert or_gate_discharge_probability(0.5, 8) == pytest.approx(1 - 2**-8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            or_gate_discharge_probability(1.5, 8)
+        with pytest.raises(ValueError):
+            or_gate_discharge_probability(0.5, 0)
+
+
+class TestEstimateFromValues:
+    def test_zero_dominated_stream_gives_low_alpha(self):
+        values = [i % 7 for i in range(100)]  # tiny positive integers
+        alpha = estimate_alpha_from_values(values)
+        assert alpha < 0.3
+
+    def test_ones_dominated_stream_gives_high_alpha(self):
+        values = [-(i % 7) - 1 for i in range(100)]  # small negatives
+        alpha = estimate_alpha_from_values(values)
+        assert alpha > 0.7
+
+
+class TestOperandValueModel:
+    def test_paper_alpha_regimes(self):
+        """The three populations bracket the paper's empirical alphas
+        (0.25 / 0.50 / 0.75)."""
+        low = ZERO_DOMINATED.estimated_alpha()
+        mid = MIXED_VALUES.estimated_alpha()
+        high = ONE_DOMINATED.estimated_alpha()
+        assert low < 0.35
+        assert 0.35 < mid < 0.65
+        assert high > 0.65
+        assert low < mid < high
+
+    def test_density_consistency(self):
+        model = OperandValueModel()
+        assert 0.0 <= model.expected_bit_density() <= 1.0
+
+    def test_zero_bias_controls_alpha(self):
+        zeroish = OperandValueModel(zero_sign_bias=0.95)
+        onesish = OperandValueModel(zero_sign_bias=0.05)
+        assert zeroish.estimated_alpha() < onesish.estimated_alpha()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OperandValueModel(narrow_fraction=1.5)
+        with pytest.raises(ValueError):
+            OperandValueModel(narrow_bits=0)

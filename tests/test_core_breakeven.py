@@ -1,0 +1,65 @@
+"""Unit tests for the break-even interval (equations 4-5, Figure 4a)."""
+
+import math
+
+import pytest
+
+from repro.core.breakeven import (
+    breakeven_interval,
+    breakeven_interval_from_energies,
+    breakeven_sweep,
+)
+from repro.core.parameters import TechnologyParameters
+
+
+class TestBreakevenInterval:
+    def test_paper_value_at_near_term_point(self):
+        """At p=0.05, k=0.001, e_ovh=0.01 the paper reads ~20 cycles."""
+        params = TechnologyParameters(leakage_factor_p=0.05)
+        assert breakeven_interval(params, 0.5) == pytest.approx(20.4, abs=0.5)
+
+    def test_decays_as_one_over_p(self):
+        alphas = 0.5
+        n_at = {}
+        for p in (0.1, 0.2, 0.4, 0.8):
+            params = TechnologyParameters(leakage_factor_p=p)
+            n_at[p] = breakeven_interval(params, alphas)
+        assert n_at[0.1] / n_at[0.2] == pytest.approx(2.0, rel=0.01)
+        assert n_at[0.2] / n_at[0.4] == pytest.approx(2.0, rel=0.01)
+
+    def test_insensitive_to_alpha_below_09(self):
+        """Figure 4a: the alpha=0.1 and alpha=0.5 curves nearly coincide."""
+        params = TechnologyParameters(leakage_factor_p=0.05)
+        n01 = breakeven_interval(params, 0.1)
+        n05 = breakeven_interval(params, 0.5)
+        n09 = breakeven_interval(params, 0.9)
+        assert abs(n05 - n01) / n01 < 0.02
+        assert n09 > n05  # overhead term matters more at high alpha
+
+    def test_agrees_with_energy_derivation(self):
+        for p in (0.05, 0.3, 0.9):
+            for alpha in (0.1, 0.5, 0.9):
+                params = TechnologyParameters(leakage_factor_p=p)
+                assert breakeven_interval(params, alpha) == pytest.approx(
+                    breakeven_interval_from_energies(params, alpha), rel=1e-9
+                )
+
+    def test_alpha_one_with_overhead_never_breaks_even(self):
+        """With every node already low-leakage after evaluation, sleeping
+        saves nothing, so a positive assert-overhead never pays back."""
+        params = TechnologyParameters(leakage_factor_p=0.5)
+        assert breakeven_interval(params, 1.0) == math.inf
+
+    def test_alpha_one_zero_overhead_is_zero(self):
+        params = TechnologyParameters(leakage_factor_p=0.5, sleep_overhead=0.0)
+        assert breakeven_interval(params, 1.0) == 0.0
+
+
+class TestBreakevenSweep:
+    def test_shape_and_ordering(self):
+        series = breakeven_sweep([0.1, 0.5], [0.1, 0.5, 1.0])
+        assert len(series) == 2
+        alpha, values = series[0]
+        assert alpha == 0.1
+        assert len(values) == 3
+        assert values[0] > values[1] > values[2]  # decreasing in p

@@ -1,0 +1,81 @@
+"""Unit tests for the byte-sliced GradualSleep extension."""
+
+import pytest
+
+from repro.core.datapath import ByteSlicedDatapath, ByteSlicedGradualSleep
+from repro.core.parameters import TechnologyParameters
+
+
+@pytest.fixture
+def params():
+    return TechnologyParameters(leakage_factor_p=0.5)
+
+
+@pytest.fixture
+def datapath():
+    return ByteSlicedDatapath(total_bytes=8, active_bytes=2, narrow_fraction=0.7)
+
+
+class TestByteSlicedDatapath:
+    def test_sleep_residency(self, datapath):
+        # 70% of ops use 2 of 8 bytes: 6/8 of the unit asleep for those.
+        assert datapath.active_cycle_sleep_residency() == pytest.approx(
+            0.7 * 6 / 8
+        )
+
+    def test_sliced_active_energy_below_plain(self, params, datapath):
+        plain = params.active_cycle_energy(0.5)
+        sliced = datapath.sliced_active_energy(params, 0.5)
+        assert sliced < plain
+
+    def test_wide_only_datapath_matches_plain(self, params):
+        wide = ByteSlicedDatapath(total_bytes=8, active_bytes=8, narrow_fraction=1.0)
+        assert wide.sliced_active_energy(params, 0.5) == pytest.approx(
+            params.active_cycle_energy(0.5)
+        )
+        assert wide.transition_share() == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ByteSlicedDatapath(total_bytes=8, active_bytes=9)
+        with pytest.raises(ValueError):
+            ByteSlicedDatapath(narrow_fraction=-0.1)
+
+
+class TestByteSlicedGradualSleep:
+    def test_saves_over_plain_gradual(self, params, datapath):
+        policy = ByteSlicedGradualSleep.for_technology(params, 0.5, datapath)
+        saving = policy.savings_vs_plain_gradual(
+            params, 0.5, active_cycles=1000, idle_intervals=[5, 20, 100] * 10
+        )
+        assert saving > 0.0
+
+    def test_no_narrow_ops_no_saving(self, params):
+        wide = ByteSlicedDatapath(total_bytes=8, active_bytes=8, narrow_fraction=0.0)
+        policy = ByteSlicedGradualSleep.for_technology(params, 0.5, wide)
+        saving = policy.savings_vs_plain_gradual(
+            params, 0.5, active_cycles=1000, idle_intervals=[10] * 20
+        )
+        assert saving == pytest.approx(0.0, abs=1e-9)
+
+    def test_total_energy_positive_and_bounded(self, params, datapath):
+        policy = ByteSlicedGradualSleep.for_technology(params, 0.5, datapath)
+        breakdown = policy.total_energy(
+            params, 0.5, active_cycles=500, idle_intervals=[10] * 50
+        )
+        assert breakdown.total > 0
+        # Cannot exceed the plain-GradualSleep cost.
+        plain = 500 * params.active_cycle_energy(0.5) + sum(
+            policy.design.interval_energy(params, 0.5, 10) for _ in range(50)
+        )
+        assert breakdown.total <= plain + 1e-9
+
+    def test_savings_grow_with_narrowness(self, params):
+        def saving(narrow_fraction):
+            datapath = ByteSlicedDatapath(narrow_fraction=narrow_fraction)
+            policy = ByteSlicedGradualSleep.for_technology(params, 0.5, datapath)
+            return policy.savings_vs_plain_gradual(
+                params, 0.5, active_cycles=1000, idle_intervals=[10] * 30
+            )
+
+        assert saving(0.9) > saving(0.5) > saving(0.1)

@@ -1,0 +1,119 @@
+"""Unit tests for the total-energy model (equations 1-3)."""
+
+import pytest
+
+from repro.core.energy_model import (
+    CycleCounts,
+    EnergyBreakdown,
+    absolute_energy_fj,
+    relative_energy,
+)
+from repro.core.parameters import TechnologyParameters
+
+
+@pytest.fixture
+def params():
+    return TechnologyParameters(leakage_factor_p=0.5)
+
+
+class TestCycleCounts:
+    def test_totals(self):
+        counts = CycleCounts(active=10, uncontrolled_idle=5, sleep=3, transitions=1)
+        assert counts.total_cycles == 18
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CycleCounts(active=-1)
+
+    def test_rejects_transitions_without_sleep(self):
+        with pytest.raises(ValueError):
+            CycleCounts(active=1, transitions=2)
+
+    def test_scaled(self):
+        counts = CycleCounts(active=10, sleep=4, transitions=2)
+        doubled = counts.scaled(2.0)
+        assert doubled.active == 20
+        assert doubled.sleep == 8
+        assert doubled.transitions == 4
+        with pytest.raises(ValueError):
+            counts.scaled(-1.0)
+
+
+class TestRelativeEnergy:
+    def test_pure_active(self, params):
+        counts = CycleCounts(active=100)
+        breakdown = relative_energy(params, 0.5, counts)
+        assert breakdown.total == pytest.approx(
+            100 * params.active_cycle_energy(0.5)
+        )
+        assert breakdown.sleep_leakage == 0
+        assert breakdown.transition_dynamic == 0
+
+    def test_pure_uncontrolled_idle(self, params):
+        counts = CycleCounts(active=0, uncontrolled_idle=50)
+        breakdown = relative_energy(params, 0.5, counts)
+        assert breakdown.total == pytest.approx(
+            50 * params.uncontrolled_idle_energy(0.5)
+        )
+        assert breakdown.dynamic == 0
+
+    def test_sleep_with_transitions(self, params):
+        counts = CycleCounts(active=10, sleep=30, transitions=3)
+        breakdown = relative_energy(params, 0.5, counts)
+        assert breakdown.sleep_leakage == pytest.approx(
+            30 * params.sleep_cycle_energy()
+        )
+        assert breakdown.transition_dynamic == pytest.approx(3 * 0.5)
+        assert breakdown.transition_overhead == pytest.approx(3 * 0.01)
+
+    def test_alpha_extremes(self, params):
+        counts = CycleCounts(active=10, sleep=10, transitions=1)
+        # alpha = 1: every node discharged by evaluation -> free transition
+        # except the assert overhead.
+        b = relative_energy(params, 1.0, counts)
+        assert b.transition_dynamic == 0.0
+        assert b.transition_overhead == pytest.approx(0.01)
+
+    def test_linearity_in_counts(self, params):
+        counts = CycleCounts(active=7, uncontrolled_idle=3, sleep=5, transitions=2)
+        one = relative_energy(params, 0.3, counts)
+        two = relative_energy(params, 0.3, counts.scaled(2))
+        assert two.total == pytest.approx(2 * one.total)
+
+
+class TestEnergyBreakdown:
+    def test_leakage_fraction(self):
+        breakdown = EnergyBreakdown(
+            dynamic=6.0,
+            active_leakage=1.0,
+            uncontrolled_idle_leakage=2.0,
+            sleep_leakage=1.0,
+            transition_dynamic=0.0,
+            transition_overhead=0.0,
+        )
+        assert breakdown.leakage == 4.0
+        assert breakdown.leakage_fraction == pytest.approx(0.4)
+
+    def test_zero_total_fraction(self):
+        zero = EnergyBreakdown(0, 0, 0, 0, 0, 0)
+        assert zero.leakage_fraction == 0.0
+
+    def test_plus_is_componentwise(self):
+        a = EnergyBreakdown(1, 2, 3, 4, 5, 6)
+        b = EnergyBreakdown(10, 20, 30, 40, 50, 60)
+        c = a.plus(b)
+        assert c.dynamic == 11
+        assert c.sleep_leakage == 44
+        assert c.total == a.total + b.total
+
+
+class TestAbsoluteEnergy:
+    def test_matches_relative_scaled_by_ed(self, params):
+        counts = CycleCounts(active=20, uncontrolled_idle=10, sleep=5, transitions=1)
+        relative = relative_energy(params, 0.4, counts).total
+        absolute = absolute_energy_fj(params, 0.4, counts, dynamic_energy_fj=22.2)
+        assert absolute == pytest.approx(relative * 22.2)
+
+    def test_rejects_nonpositive_ed(self, params):
+        with pytest.raises(ValueError):
+            absolute_energy_fj(params, 0.5, CycleCounts(active=1), 0.0)

@@ -1,0 +1,113 @@
+"""Unit tests for the GradualSleep slice design (Section 3.2)."""
+
+import pytest
+
+from repro.core.breakeven import breakeven_interval
+from repro.core.gradual import GradualSleepDesign
+from repro.core.parameters import TechnologyParameters
+from repro.core.transition import (
+    always_active_interval_energy,
+    max_sleep_interval_energy,
+)
+
+
+@pytest.fixture
+def params():
+    return TechnologyParameters(leakage_factor_p=0.05)
+
+
+class TestConstruction:
+    def test_slice_count_matches_breakeven(self, params):
+        design = GradualSleepDesign.for_technology(params, 0.5)
+        assert design.num_slices == round(breakeven_interval(params, 0.5))
+
+    def test_rejects_zero_slices(self):
+        with pytest.raises(ValueError):
+            GradualSleepDesign(num_slices=0)
+
+    def test_high_p_uses_few_slices(self):
+        high = TechnologyParameters(leakage_factor_p=1.0)
+        design = GradualSleepDesign.for_technology(high, 0.5)
+        assert design.num_slices <= 2
+
+
+class TestSliceTiming:
+    def test_shift_register_saturates(self):
+        design = GradualSleepDesign(num_slices=4)
+        assert [design.slices_asleep_during_cycle(t) for t in (1, 2, 3, 4, 5, 100)] == [
+            1, 2, 3, 4, 4, 4,
+        ]
+
+    def test_rejects_cycle_zero(self):
+        with pytest.raises(ValueError):
+            GradualSleepDesign(num_slices=4).slices_asleep_during_cycle(0)
+
+    def test_transitioned_slices_clamped(self):
+        design = GradualSleepDesign(num_slices=8)
+        assert design.slices_transitioned(3) == 3
+        assert design.slices_transitioned(100) == 8
+
+    def test_sleep_slice_cycles_closed_form(self):
+        design = GradualSleepDesign(num_slices=4)
+        # L=3 (ramp only): 1+2+3 = 6 slice-cycles asleep.
+        assert design.interval_sleep_slice_cycles(3) == pytest.approx(6)
+        # L=6: ramp 1+2+3+4 = 10, plus 2 full cycles * 4 slices.
+        assert design.interval_sleep_slice_cycles(6) == pytest.approx(18)
+
+
+class TestIntervalEnergy:
+    def test_zero_interval_is_free(self, params):
+        design = GradualSleepDesign(num_slices=10)
+        assert design.interval_energy(params, 0.5, 0) == 0.0
+
+    def test_single_slice_equals_max_sleep(self, params):
+        """One slice degenerates to MaxSleep exactly."""
+        design = GradualSleepDesign(num_slices=1)
+        for interval in (1, 5, 50):
+            assert design.interval_energy(params, 0.5, interval) == pytest.approx(
+                max_sleep_interval_energy(params, 0.5, interval)
+            )
+
+    def test_many_slices_approach_always_active_for_short_idle(self, params):
+        """With n >> L, almost nothing sleeps: energy ~ AlwaysActive."""
+        design = GradualSleepDesign(num_slices=10_000)
+        interval = 5
+        gradual = design.interval_energy(params, 0.5, interval)
+        aa = always_active_interval_energy(params, 0.5, interval)
+        assert gradual == pytest.approx(aa, rel=0.01)
+
+    def test_hedge_properties(self, params):
+        """Figure 5c: GS beats MS for short idles, beats AA for long ones,
+        and costs more than both near the break-even point."""
+        alpha = 0.5
+        design = GradualSleepDesign.for_technology(params, alpha)
+        n_be = design.num_slices
+
+        short = 2
+        assert design.interval_energy(params, alpha, short) < max_sleep_interval_energy(
+            params, alpha, short
+        )
+        long = n_be * 10
+        assert design.interval_energy(
+            params, alpha, long
+        ) < always_active_interval_energy(params, alpha, long)
+        near = n_be
+        gradual_near = design.interval_energy(params, alpha, near)
+        assert gradual_near > max_sleep_interval_energy(params, alpha, near)
+        assert gradual_near > always_active_interval_energy(params, alpha, near)
+
+    def test_monotone_in_interval(self, params):
+        design = GradualSleepDesign(num_slices=20)
+        energies = [design.interval_energy(params, 0.5, L) for L in range(0, 60)]
+        assert all(b >= a for a, b in zip(energies, energies[1:]))
+
+    def test_fractional_interval_interpolates(self, params):
+        design = GradualSleepDesign(num_slices=20)
+        e10 = design.interval_energy(params, 0.5, 10)
+        e10_5 = design.interval_energy(params, 0.5, 10.5)
+        e11 = design.interval_energy(params, 0.5, 11)
+        assert e10 < e10_5 < e11
+
+    def test_rejects_negative_interval(self, params):
+        with pytest.raises(ValueError):
+            GradualSleepDesign(num_slices=4).interval_energy(params, 0.5, -1)

@@ -1,0 +1,89 @@
+"""Unit tests for TechnologyParameters and the per-cycle energy terms."""
+
+import pytest
+
+from repro.core.parameters import (
+    MODEL_DEFAULTS,
+    PAPER_ALPHAS_ANALYTIC,
+    PAPER_ALPHAS_EMPIRICAL,
+    TechnologyParameters,
+    check_alpha,
+)
+
+
+class TestValidation:
+    def test_defaults_match_table4(self):
+        params = TechnologyParameters(leakage_factor_p=0.05)
+        assert params.sleep_ratio_k == 0.001
+        assert params.sleep_overhead == 0.01
+        assert params.duty_cycle == 0.5
+
+    @pytest.mark.parametrize("p", [0.0, -0.1, 1.5])
+    def test_rejects_bad_p(self, p):
+        with pytest.raises(ValueError):
+            TechnologyParameters(leakage_factor_p=p)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            TechnologyParameters(leakage_factor_p=0.5, sleep_ratio_k=1.0)
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ValueError):
+            TechnologyParameters(leakage_factor_p=0.5, sleep_overhead=-0.01)
+
+    def test_rejects_bad_duty_cycle(self):
+        with pytest.raises(ValueError):
+            TechnologyParameters(leakage_factor_p=0.5, duty_cycle=0.0)
+
+    def test_check_alpha(self):
+        check_alpha(0.0)
+        check_alpha(1.0)
+        with pytest.raises(ValueError):
+            check_alpha(-0.01)
+        with pytest.raises(ValueError):
+            check_alpha(1.01)
+
+    def test_paper_constants(self):
+        assert [p.leakage_factor_p for p in MODEL_DEFAULTS] == [0.05, 0.50]
+        assert PAPER_ALPHAS_ANALYTIC == (0.1, 0.5, 0.9)
+        assert PAPER_ALPHAS_EMPIRICAL == (0.25, 0.50, 0.75)
+
+
+class TestPerCycleTerms:
+    def test_state_mix_endpoints(self):
+        params = TechnologyParameters(leakage_factor_p=0.5, sleep_ratio_k=0.001)
+        assert params.state_mix(0.0) == pytest.approx(1.0)
+        assert params.state_mix(1.0) == pytest.approx(0.001)
+
+    def test_active_cycle_energy_composition(self):
+        # At alpha = 0.5, p = 0.5, k = 0.001, D = 0.5:
+        # e_active = 0.5 + 0.5*0.5 + 0.5*(0.5*0.001 + 0.5)*0.5
+        params = TechnologyParameters(leakage_factor_p=0.5)
+        expected = 0.5 + 0.25 + 0.5 * (0.0005 + 0.5) * 0.5
+        assert params.active_cycle_energy(0.5) == pytest.approx(expected)
+
+    def test_uncontrolled_idle_energy(self):
+        params = TechnologyParameters(leakage_factor_p=0.05)
+        assert params.uncontrolled_idle_energy(0.5) == pytest.approx(
+            (0.5 * 0.001 + 0.5) * 0.05
+        )
+
+    def test_sleep_cycle_energy(self):
+        params = TechnologyParameters(leakage_factor_p=0.05)
+        assert params.sleep_cycle_energy() == pytest.approx(5e-5)
+
+    def test_transition_energy(self):
+        params = TechnologyParameters(leakage_factor_p=0.05)
+        assert params.transition_energy(0.5) == pytest.approx(0.51)
+        assert params.transition_energy(1.0) == pytest.approx(0.01)
+
+    def test_sleep_always_saves_per_cycle(self):
+        for p in (0.05, 0.5, 1.0):
+            params = TechnologyParameters(leakage_factor_p=p)
+            for alpha in (0.0, 0.5, 0.99):
+                assert params.idle_savings_per_cycle(alpha) > 0
+
+    def test_active_energy_increases_with_p(self):
+        low = TechnologyParameters(leakage_factor_p=0.05)
+        high = TechnologyParameters(leakage_factor_p=0.9)
+        assert high.active_cycle_energy(0.5) > low.active_cycle_energy(0.5)

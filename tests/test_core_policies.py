@@ -1,0 +1,168 @@
+"""Unit tests for the event-driven sleep controllers."""
+
+import pytest
+
+from repro.core.breakeven import breakeven_interval
+from repro.core.gradual import GradualSleepDesign
+from repro.core.parameters import TechnologyParameters
+from repro.core.policies import (
+    AlwaysActivePolicy,
+    BreakevenOraclePolicy,
+    GradualSleepPolicy,
+    MaxSleepPolicy,
+    NoOverheadPolicy,
+    PredictiveSleepPolicy,
+    TimeoutSleepPolicy,
+    paper_policy_suite,
+    run_policy_on_intervals,
+)
+
+
+@pytest.fixture
+def params():
+    return TechnologyParameters(leakage_factor_p=0.5)
+
+
+class TestBoundaryPolicies:
+    def test_always_active(self):
+        outcome = AlwaysActivePolicy().on_interval(7)
+        assert outcome.uncontrolled_idle == 7
+        assert outcome.sleep == 0
+        assert outcome.transitions == 0
+
+    def test_max_sleep(self):
+        outcome = MaxSleepPolicy().on_interval(7)
+        assert outcome.uncontrolled_idle == 0
+        assert outcome.sleep == 7
+        assert outcome.transitions == 1
+
+    def test_no_overhead(self):
+        outcome = NoOverheadPolicy().on_interval(7)
+        assert outcome.sleep == 7
+        assert outcome.transitions == 0
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            MaxSleepPolicy().on_interval(0)
+
+
+class TestGradualSleepPolicy:
+    def test_outcome_conserves_cycles(self, params):
+        policy = GradualSleepPolicy(GradualSleepDesign(num_slices=10))
+        for interval in (1, 5, 10, 50):
+            outcome = policy.on_interval(interval)
+            assert outcome.uncontrolled_idle + outcome.sleep == pytest.approx(
+                interval
+            )
+
+    def test_partial_transitions_for_short_intervals(self, params):
+        policy = GradualSleepPolicy(GradualSleepDesign(num_slices=10))
+        assert policy.on_interval(5).transitions == pytest.approx(0.5)
+        assert policy.on_interval(100).transitions == pytest.approx(1.0)
+
+    def test_for_technology_uses_breakeven_slices(self, params):
+        policy = GradualSleepPolicy.for_technology(params, 0.5)
+        assert policy.design.num_slices == round(breakeven_interval(params, 0.5))
+
+
+class TestBreakevenOracle:
+    def test_sleeps_only_above_threshold(self, params):
+        oracle = BreakevenOraclePolicy(params, 0.5)
+        threshold = breakeven_interval(params, 0.5)
+        below = oracle.on_interval(max(1, int(threshold)))
+        above = oracle.on_interval(int(threshold) + 2)
+        assert below.sleep == 0
+        assert above.sleep == int(threshold) + 2
+
+    def test_oracle_is_min_of_boundary_policies(self, params):
+        """Per interval, the oracle matches min(MaxSleep, AlwaysActive)."""
+        alpha = 0.5
+        oracle = BreakevenOraclePolicy(params, alpha)
+        intervals = list(range(1, 40))
+        oracle_run = run_policy_on_intervals(oracle, intervals, params, alpha, 10)
+        ms_run = run_policy_on_intervals(MaxSleepPolicy(), intervals, params, alpha, 10)
+        aa_run = run_policy_on_intervals(
+            AlwaysActivePolicy(), intervals, params, alpha, 10
+        )
+        assert oracle_run.total_energy <= ms_run.total_energy + 1e-9
+        assert oracle_run.total_energy <= aa_run.total_energy + 1e-9
+
+
+class TestPredictiveSleep:
+    def test_first_decision_uses_initial_prediction(self, params):
+        policy = PredictiveSleepPolicy(params, 0.5, initial_prediction=1000.0)
+        outcome = policy.on_interval(1)
+        assert outcome.sleep == 1  # predicted long, so slept
+
+    def test_learns_long_intervals(self, params):
+        policy = PredictiveSleepPolicy(params, 0.5, ewma_weight=1.0)
+        first = policy.on_interval(500)
+        second = policy.on_interval(500)
+        assert first.sleep == 0  # initial prediction 0: stays awake
+        assert second.sleep == 500  # learned
+
+    def test_reset_restores_initial_state(self, params):
+        policy = PredictiveSleepPolicy(params, 0.5, ewma_weight=1.0)
+        policy.on_interval(500)
+        policy.reset()
+        assert policy.prediction == 0.0
+
+    def test_is_stateful(self, params):
+        assert not PredictiveSleepPolicy(params, 0.5).stateless
+
+    def test_validation(self, params):
+        with pytest.raises(ValueError):
+            PredictiveSleepPolicy(params, 0.5, ewma_weight=0.0)
+        with pytest.raises(ValueError):
+            PredictiveSleepPolicy(params, 0.5, initial_prediction=-1.0)
+
+
+class TestTimeoutSleep:
+    def test_short_interval_never_sleeps(self):
+        policy = TimeoutSleepPolicy(timeout=10)
+        outcome = policy.on_interval(10)
+        assert outcome.sleep == 0
+        assert outcome.transitions == 0
+
+    def test_long_interval_sleeps_after_timeout(self):
+        policy = TimeoutSleepPolicy(timeout=10)
+        outcome = policy.on_interval(25)
+        assert outcome.uncontrolled_idle == 10
+        assert outcome.sleep == 15
+        assert outcome.transitions == 1
+
+    def test_zero_timeout_is_max_sleep(self):
+        policy = TimeoutSleepPolicy(timeout=0)
+        outcome = policy.on_interval(5)
+        assert outcome.sleep == 5
+        assert outcome.transitions == 1
+
+
+class TestRunPolicyOnIntervals:
+    def test_counts_accumulate(self, params):
+        run = run_policy_on_intervals(
+            MaxSleepPolicy(), [3, 4, 5], params, 0.5, active_cycles=20
+        )
+        assert run.counts.active == 20
+        assert run.counts.sleep == 12
+        assert run.counts.transitions == 3
+
+    def test_policy_reset_before_run(self, params):
+        policy = PredictiveSleepPolicy(params, 0.5, ewma_weight=1.0)
+        first = run_policy_on_intervals(policy, [500, 500], params, 0.5, 0)
+        second = run_policy_on_intervals(policy, [500, 500], params, 0.5, 0)
+        assert first.total_energy == pytest.approx(second.total_energy)
+
+    def test_rejects_negative_active(self, params):
+        with pytest.raises(ValueError):
+            run_policy_on_intervals(MaxSleepPolicy(), [1], params, 0.5, -1)
+
+
+class TestPaperPolicySuite:
+    def test_order_and_names(self, params):
+        suite = paper_policy_suite(params, 0.5)
+        names = [p.name for p in suite]
+        assert names[0] == "MaxSleep"
+        assert names[1].startswith("GradualSleep")
+        assert names[2] == "AlwaysActive"
+        assert names[3] == "NoOverhead"

@@ -1,0 +1,136 @@
+"""Unit tests for the usage-factor closed forms (equations 6-9)."""
+
+import pytest
+
+from repro.core.breakeven import breakeven_interval
+from repro.core.parameters import TechnologyParameters
+from repro.core.policy_energy import (
+    ALWAYS_ACTIVE,
+    MAX_SLEEP,
+    NO_OVERHEAD,
+    UsageScenario,
+    baseline_energy,
+    policy_cycle_counts,
+    policy_energies,
+)
+
+
+def scenario(usage=0.5, idle=10.0, alpha=0.5, cycles=1e6):
+    return UsageScenario(
+        total_cycles=cycles,
+        usage_factor=usage,
+        mean_idle_interval=idle,
+        alpha=alpha,
+    )
+
+
+class TestUsageScenario:
+    def test_cycle_split(self):
+        s = scenario(usage=0.3, cycles=1000)
+        assert s.active_cycles == pytest.approx(300)
+        assert s.idle_cycles == pytest.approx(700)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scenario(usage=1.5)
+        with pytest.raises(ValueError):
+            scenario(idle=0.5)
+        with pytest.raises(ValueError):
+            scenario(cycles=0)
+
+
+class TestPolicyCycleCounts:
+    def test_always_active(self):
+        counts = policy_cycle_counts(scenario(), ALWAYS_ACTIVE)
+        assert counts.sleep == 0
+        assert counts.transitions == 0
+        assert counts.uncontrolled_idle == pytest.approx(5e5)
+
+    def test_max_sleep_transitions(self):
+        counts = policy_cycle_counts(scenario(usage=0.5, idle=10.0), MAX_SLEEP)
+        assert counts.uncontrolled_idle == 0
+        assert counts.sleep == pytest.approx(5e5)
+        assert counts.transitions == pytest.approx(5e4)
+
+    def test_max_sleep_transition_cap(self):
+        """The min() in equation (7): one transition per active cycle max."""
+        s = scenario(usage=0.01, idle=1.0)  # idle cycles >> active cycles
+        counts = policy_cycle_counts(s, MAX_SLEEP)
+        assert counts.transitions == pytest.approx(s.active_cycles)
+
+    def test_no_overhead_is_free(self):
+        counts = policy_cycle_counts(scenario(), NO_OVERHEAD)
+        assert counts.transitions == 0
+        assert counts.sleep == pytest.approx(5e5)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            policy_cycle_counts(scenario(), "Nonsense")
+
+
+class TestPolicyEnergies:
+    def test_no_overhead_is_lower_bound(self):
+        for p in (0.05, 0.5, 1.0):
+            params = TechnologyParameters(leakage_factor_p=p)
+            e = policy_energies(params, scenario())
+            assert e.no_overhead <= e.max_sleep + 1e-12
+            assert e.no_overhead <= e.always_active + 1e-12
+            assert e.no_overhead <= e.gradual_sleep + 1e-12
+
+    def test_figure4b_low_p_ordering(self):
+        """At p=0.05 and 10-cycle idles (below break-even ~20), MaxSleep
+        loses to AlwaysActive."""
+        params = TechnologyParameters(leakage_factor_p=0.05)
+        e = policy_energies(params, scenario(idle=10.0))
+        assert e.max_sleep > e.always_active
+
+    def test_figure4b_high_p_ordering(self):
+        """At p=0.5 (break-even ~2 cycles) MaxSleep wins."""
+        params = TechnologyParameters(leakage_factor_p=0.5)
+        e = policy_energies(params, scenario(idle=10.0))
+        assert e.max_sleep < e.always_active
+
+    def test_figure4c_long_idle_converges_to_no_overhead(self):
+        """At 100-cycle idles the transition amortizes away."""
+        params = TechnologyParameters(leakage_factor_p=0.5)
+        e = policy_energies(params, scenario(usage=0.10, idle=100.0))
+        assert (e.max_sleep - e.no_overhead) / e.no_overhead < 0.06
+        # ... and much closer than at 10-cycle idles.
+        e_short = policy_energies(params, scenario(usage=0.10, idle=10.0))
+        gap_long = e.max_sleep - e.no_overhead
+        gap_short = e_short.max_sleep - e_short.no_overhead
+        assert gap_long < gap_short / 5
+
+    def test_figure4d_worst_case(self):
+        """Idle interval 1: MaxSleep pays a transition every other cycle."""
+        params = TechnologyParameters(leakage_factor_p=0.05)
+        e = policy_energies(params, scenario(usage=0.5, idle=1.0))
+        assert e.max_sleep > 1.2 * e.always_active
+
+    def test_high_usage_compresses_differences(self):
+        """Figure 4b: at 90% usage the policies bunch together."""
+        params = TechnologyParameters(leakage_factor_p=0.5)
+        low = policy_energies(params, scenario(usage=0.10))
+        high = policy_energies(params, scenario(usage=0.90))
+        spread_low = low.always_active - low.no_overhead
+        spread_high = high.always_active - high.no_overhead
+        assert spread_high < spread_low
+
+    def test_gradual_between_extremes_far_from_breakeven(self):
+        params = TechnologyParameters(leakage_factor_p=0.5)
+        n_be = breakeven_interval(params, 0.5)
+        long_idle = scenario(idle=max(10.0, 20 * n_be))
+        e = policy_energies(params, long_idle)
+        assert e.max_sleep <= e.gradual_sleep <= e.always_active
+
+    def test_as_dict_keys(self):
+        params = TechnologyParameters(leakage_factor_p=0.5)
+        d = policy_energies(params, scenario()).as_dict()
+        assert set(d) == {ALWAYS_ACTIVE, MAX_SLEEP, NO_OVERHEAD, "GradualSleep"}
+
+    def test_baseline_energy_equation9(self):
+        params = TechnologyParameters(leakage_factor_p=0.5)
+        s = scenario(cycles=1000)
+        assert baseline_energy(params, s) == pytest.approx(
+            1000 * params.active_cycle_energy(0.5)
+        )

@@ -1,0 +1,65 @@
+"""Unit tests for the per-interval energy curves (Figures 3/5c analytics)."""
+
+import pytest
+
+from repro.core.breakeven import breakeven_interval
+from repro.core.parameters import TechnologyParameters
+from repro.core.transition import (
+    always_active_interval_energy,
+    interval_energy_curves,
+    max_sleep_interval_energy,
+)
+
+
+@pytest.fixture
+def params():
+    return TechnologyParameters(leakage_factor_p=0.05)
+
+
+class TestIntervalEnergies:
+    def test_always_active_linear_through_origin(self, params):
+        assert always_active_interval_energy(params, 0.5, 0) == 0.0
+        e10 = always_active_interval_energy(params, 0.5, 10)
+        e20 = always_active_interval_energy(params, 0.5, 20)
+        assert e20 == pytest.approx(2 * e10)
+
+    def test_max_sleep_step_plus_plateau(self, params):
+        assert max_sleep_interval_energy(params, 0.5, 0) == 0.0
+        e1 = max_sleep_interval_energy(params, 0.5, 1)
+        assert e1 > params.transition_energy(0.5) * 0.99
+        e100 = max_sleep_interval_energy(params, 0.5, 100)
+        assert e100 - e1 == pytest.approx(99 * params.sleep_cycle_energy())
+
+    def test_negative_interval_rejected(self, params):
+        with pytest.raises(ValueError):
+            always_active_interval_energy(params, 0.5, -1)
+        with pytest.raises(ValueError):
+            max_sleep_interval_energy(params, 0.5, -1)
+
+
+class TestCurves:
+    def test_crossover_matches_breakeven(self, params):
+        curves = interval_energy_curves(params, 0.5, max_interval=100)
+        crossover = curves.crossover_interval()
+        n_be = breakeven_interval(params, 0.5)
+        assert crossover is not None
+        assert crossover == pytest.approx(n_be, abs=1.0)
+
+    def test_no_crossover_when_range_too_short(self, params):
+        curves = interval_energy_curves(params, 0.5, max_interval=5)
+        assert curves.crossover_interval() is None
+
+    def test_default_slices_match_breakeven(self, params):
+        curves = interval_energy_curves(params, 0.5)
+        assert curves.num_slices == round(breakeven_interval(params, 0.5))
+
+    def test_custom_interval_list(self, params):
+        curves = interval_energy_curves(params, 0.5, intervals=[0, 10, 50])
+        assert curves.intervals == (0, 10, 50)
+        assert len(curves.max_sleep) == 3
+
+    def test_gradual_sandwich_at_extremes(self, params):
+        curves = interval_energy_curves(params, 0.5, max_interval=200)
+        # Short intervals: GS below MS; long intervals: GS below AA.
+        assert curves.gradual_sleep[2] < curves.max_sleep[2]
+        assert curves.gradual_sleep[200] < curves.always_active[200]

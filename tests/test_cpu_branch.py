@@ -1,0 +1,172 @@
+"""Unit tests for the combining branch predictor, RAS, and BTB."""
+
+import pytest
+
+from repro.cpu.branch import (
+    BranchTargetBuffer,
+    CombiningPredictor,
+    ReturnAddressStack,
+    SaturatingCounterTable,
+)
+from repro.cpu.config import BranchPredictorConfig
+
+
+class TestSaturatingCounter:
+    def test_initial_prediction_not_taken(self):
+        table = SaturatingCounterTable(16)
+        assert not table.predict(0)
+
+    def test_trains_toward_taken(self):
+        table = SaturatingCounterTable(16)
+        table.update(3, True)
+        assert table.predict(3)  # weakly-NT + 1 = weakly-taken
+
+    def test_saturation(self):
+        table = SaturatingCounterTable(16)
+        for _ in range(10):
+            table.update(0, True)
+        assert table.counter(0) == 3
+        table.update(0, False)
+        assert table.predict(0)  # one NT from strongly-taken stays taken
+
+    def test_hysteresis(self):
+        table = SaturatingCounterTable(16, initial=3)
+        table.update(5, False)
+        assert table.predict(5)
+        table.update(5, False)
+        assert not table.predict(5)
+
+    def test_index_wraps(self):
+        table = SaturatingCounterTable(16)
+        table.update(16, True)
+        assert table.predict(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SaturatingCounterTable(15)
+        with pytest.raises(ValueError):
+            SaturatingCounterTable(16, initial=4)
+
+
+class TestReturnAddressStack:
+    def test_lifo(self):
+        ras = ReturnAddressStack(8)
+        ras.push(100)
+        ras.push(200)
+        assert ras.pop() == 200
+        assert ras.pop() == 100
+        assert ras.pop() is None
+
+    def test_wraparound_overwrites_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)  # overwrites 1
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.occupancy == 0
+
+
+class TestBranchTargetBuffer:
+    def test_install_and_lookup(self):
+        btb = BranchTargetBuffer(16, 2)
+        btb.install(0x1000, 0x2000)
+        assert btb.lookup(0x1000) == 0x2000
+        assert btb.lookup(0x1004) is None
+
+    def test_lru_eviction_within_set(self):
+        btb = BranchTargetBuffer(16, 2)
+        # Three PCs mapping to the same set (stride = sets * 4 bytes).
+        stride = 16 * 4
+        a, b, c = 0x1000, 0x1000 + stride, 0x1000 + 2 * stride
+        btb.install(a, 1)
+        btb.install(b, 2)
+        btb.lookup(a)  # refresh a
+        btb.install(c, 3)  # evicts b (LRU)
+        assert btb.lookup(a) == 1
+        assert btb.lookup(b) is None
+        assert btb.lookup(c) == 3
+
+    def test_reinstall_updates_target(self):
+        btb = BranchTargetBuffer(16, 2)
+        btb.install(0x1000, 0x2000)
+        btb.install(0x1000, 0x3000)
+        assert btb.lookup(0x1000) == 0x3000
+
+
+class TestCombiningPredictor:
+    def test_biased_branch_learned(self):
+        predictor = CombiningPredictor()
+        pc, target = 0x4000, 0x5000
+        mispredicts = sum(
+            predictor.update(pc, True, target) for _ in range(100)
+        )
+        # First sightings mispredict (cold counters + BTB), then learned.
+        assert mispredicts <= 3
+        assert predictor.predict_direction(pc)
+
+    def test_alternating_pattern_learned_by_gshare(self):
+        """Bimodal cannot learn T/NT alternation; global history can."""
+        predictor = CombiningPredictor()
+        pc, target = 0x4000, 0x5000
+        outcomes = [bool(i % 2) for i in range(400)]
+        early = sum(predictor.update(pc, t, target) for t in outcomes[:100])
+        late = sum(predictor.update(pc, t, target) for t in outcomes[300:])
+        assert late < early
+        assert late <= 5
+
+    def test_fixed_trip_loop_learned(self):
+        """A trips=4 loop (TTTN repeating) becomes predictable."""
+        predictor = CombiningPredictor()
+        pc, target = 0x4000, 0x3000
+        pattern = [True, True, True, False] * 100
+        for taken in pattern[:200]:
+            predictor.update(pc, taken, target)
+        late_mispredicts = sum(
+            predictor.update(pc, taken, target) for taken in pattern[200:]
+        )
+        assert late_mispredicts <= 5
+
+    def test_btb_target_change_counts_as_mispredict(self):
+        predictor = CombiningPredictor()
+        pc = 0x4000
+        for _ in range(10):
+            predictor.update(pc, True, 0x5000)
+        before = predictor.btb_misses_on_taken
+        predictor.update(pc, True, 0x6000)  # target changed
+        assert predictor.btb_misses_on_taken == before + 1
+
+    def test_call_return_pairing(self):
+        predictor = CombiningPredictor()
+        # A call pushes its return address; the matching return predicts it.
+        assert predictor.update_call(0x100, 0x104, 0x9000)  # cold BTB: miss
+        assert not predictor.update_call(0x100, 0x104, 0x9000)
+        mispredicted = predictor.update_return(0x9100, 0x104)
+        assert not mispredicted
+
+    def test_return_with_empty_ras_mispredicts(self):
+        predictor = CombiningPredictor()
+        assert predictor.update_return(0x9100, 0x104)
+
+    def test_mispredict_rate_bounds(self):
+        predictor = CombiningPredictor()
+        assert predictor.mispredict_rate == 0.0
+        for i in range(50):
+            predictor.update(0x4000 + 4 * i, i % 3 == 0, 0x8000)
+        assert 0.0 <= predictor.mispredict_rate <= 1.0
+        assert predictor.lookups == 50
+
+    def test_custom_config(self):
+        config = BranchPredictorConfig(
+            bimodal_entries=64,
+            level1_entries=64,
+            history_bits=4,
+            level2_entries=64,
+            meta_entries=64,
+            ras_entries=4,
+            btb_sets=64,
+            btb_ways=1,
+        )
+        predictor = CombiningPredictor(config)
+        predictor.update(0x1000, True, 0x2000)
+        assert predictor.lookups == 1

@@ -1,0 +1,98 @@
+"""Unit tests for the set-associative cache and TLB models."""
+
+import pytest
+
+from repro.cpu.caches import SetAssociativeCache, TranslationBuffer
+from repro.cpu.config import CacheConfig, TlbConfig
+
+
+def small_cache(ways=2, sets=4, line=64):
+    return SetAssociativeCache(
+        CacheConfig(
+            size_bytes=ways * sets * line, ways=ways, line_bytes=line, hit_latency=2
+        ),
+        "test",
+    )
+
+
+class TestSetAssociativeCache:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.lookup(0x1000)
+        assert cache.lookup(0x1000)
+        assert cache.lookup(0x1004)  # same line
+        assert cache.accesses == 3
+        assert cache.misses == 1
+
+    def test_line_granularity(self):
+        cache = small_cache(line=64)
+        cache.lookup(0x1000)
+        assert cache.probe(0x103F)  # same 64B line
+        assert not cache.probe(0x1040)  # next line
+
+    def test_lru_eviction(self):
+        cache = small_cache(ways=2, sets=4)
+        set_stride = 4 * 64  # addresses mapping to the same set
+        a, b, c = 0x0, set_stride, 2 * set_stride
+        cache.lookup(a)
+        cache.lookup(b)
+        cache.lookup(a)  # refresh a; b becomes LRU
+        cache.lookup(c)  # evicts b
+        assert cache.probe(a)
+        assert not cache.probe(b)
+        assert cache.probe(c)
+
+    def test_capacity_bounded_per_set(self):
+        cache = small_cache(ways=2, sets=4)
+        set_stride = 4 * 64
+        for i in range(10):
+            cache.lookup(i * set_stride)
+        resident = sum(cache.probe(i * set_stride) for i in range(10))
+        assert resident == 2  # at most `ways` lines per set
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        assert cache.miss_rate == 0.0
+        cache.lookup(0)
+        cache.lookup(0)
+        assert cache.miss_rate == 0.5
+
+    def test_line_address(self):
+        cache = small_cache(line=64)
+        assert cache.line_address(0x1039) == 0x1000
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(
+                CacheConfig(size_bytes=960, ways=2, line_bytes=60, hit_latency=1)
+            )
+
+
+class TestTranslationBuffer:
+    def test_page_granularity(self):
+        tlb = TranslationBuffer(
+            TlbConfig(entries=8, ways=2, page_bytes=8192, miss_penalty=30)
+        )
+        assert tlb.access(0x0000) == 30  # cold miss
+        assert tlb.access(0x1FFF) == 0  # same page
+        assert tlb.access(0x2000) == 30  # next page
+
+    def test_lru_within_set(self):
+        tlb = TranslationBuffer(
+            TlbConfig(entries=8, ways=2, page_bytes=8192, miss_penalty=30)
+        )
+        sets = 4
+        stride = sets * 8192  # pages mapping to the same set
+        assert tlb.access(0 * stride) == 30
+        assert tlb.access(1 * stride) == 30
+        assert tlb.access(0 * stride) == 0  # refresh
+        assert tlb.access(2 * stride) == 30  # evicts page 1
+        assert tlb.access(1 * stride) == 30  # was evicted
+
+    def test_miss_rate(self):
+        tlb = TranslationBuffer(
+            TlbConfig(entries=8, ways=2, page_bytes=8192, miss_penalty=30)
+        )
+        tlb.access(0)
+        tlb.access(0)
+        assert tlb.miss_rate == 0.5

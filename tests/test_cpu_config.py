@@ -1,0 +1,103 @@
+"""Unit tests for the Table 2 machine configuration."""
+
+import pytest
+
+from repro.cpu.config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    MachineConfig,
+    TlbConfig,
+)
+
+
+class TestMachineConfigDefaults:
+    """The defaults must be exactly the paper's Table 2."""
+
+    def test_widths(self):
+        config = MachineConfig()
+        assert config.fetch_queue_entries == 8
+        assert config.fetch_width == 4
+        assert config.decode_width == 4
+        assert config.issue_width == 4
+
+    def test_window_structures(self):
+        config = MachineConfig()
+        assert config.reorder_buffer_entries == 128
+        assert config.int_issue_entries == 32
+        assert config.fp_issue_entries == 32
+        assert config.int_physical_regs == 96
+        assert config.fp_physical_regs == 96
+        assert config.load_queue_entries == 32
+        assert config.store_queue_entries == 32
+
+    def test_branch_predictor(self):
+        bp = MachineConfig().branch_predictor
+        assert bp.bimodal_entries == 2048
+        assert bp.level1_entries == 1024
+        assert bp.history_bits == 10
+        assert bp.level2_entries == 4096
+        assert bp.meta_entries == 1024
+        assert bp.ras_entries == 32
+        assert bp.btb_sets == 4096
+        assert bp.btb_ways == 2
+
+    def test_memory_system(self):
+        config = MachineConfig()
+        assert config.l1_icache.size_bytes == 64 * 1024
+        assert config.l1_icache.ways == 4
+        assert config.l1_icache.line_bytes == 64
+        assert config.l1_icache.hit_latency == 2
+        assert config.l2_cache.size_bytes == 2 * 1024 * 1024
+        assert config.l2_cache.ways == 8
+        assert config.l2_cache.line_bytes == 128
+        assert config.l2_cache.hit_latency == 12
+        assert config.memory_latency == 80
+        assert config.itlb.entries == 256
+        assert config.dtlb.entries == 512
+        assert config.itlb.miss_penalty == 30
+
+    def test_latencies(self):
+        config = MachineConfig()
+        assert config.branch_mispredict_latency == 10
+
+
+class TestDerivedAndCopies:
+    def test_cache_num_sets(self):
+        cache = CacheConfig(size_bytes=64 * 1024, ways=4, line_bytes=64, hit_latency=2)
+        assert cache.num_sets == 256
+
+    def test_with_int_fus(self):
+        derived = MachineConfig().with_int_fus(2)
+        assert derived.num_int_fus == 2
+        assert derived.reorder_buffer_entries == 128  # everything else kept
+
+    def test_with_l2_latency(self):
+        derived = MachineConfig().with_l2_latency(32)
+        assert derived.l2_cache.hit_latency == 32
+        assert derived.l2_cache.size_bytes == 2 * 1024 * 1024
+
+
+class TestValidation:
+    def test_cache_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, ways=3, line_bytes=64, hit_latency=2)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=64 * 1024, ways=4, line_bytes=64, hit_latency=0)
+
+    def test_tlb_geometry(self):
+        with pytest.raises(ValueError):
+            TlbConfig(entries=10, ways=4, page_bytes=8192, miss_penalty=30)
+        with pytest.raises(ValueError):
+            TlbConfig(entries=256, ways=4, page_bytes=1000, miss_penalty=30)
+
+    def test_predictor_powers_of_two(self):
+        with pytest.raises(ValueError):
+            BranchPredictorConfig(bimodal_entries=1000)
+        with pytest.raises(ValueError):
+            BranchPredictorConfig(history_bits=0)
+
+    def test_machine_positive_fields(self):
+        with pytest.raises(ValueError):
+            MachineConfig(num_int_fus=0)
+        with pytest.raises(ValueError):
+            MachineConfig(num_int_fus=16)

@@ -1,0 +1,115 @@
+"""Unit tests for the functional-unit pool and idle tracking."""
+
+import pytest
+
+from repro.cpu.fu import FunctionalUnitPool
+
+
+class TestAcquire:
+    def test_round_robin_rotation(self):
+        pool = FunctionalUnitPool(3)
+        assert pool.acquire(0, 1) == 0
+        assert pool.acquire(0, 1) == 1
+        assert pool.acquire(0, 1) == 2
+        assert pool.acquire(0, 1) is None  # all busy this cycle
+        assert pool.acquire(1, 1) == 0  # pointer wrapped
+
+    def test_multicycle_occupancy(self):
+        pool = FunctionalUnitPool(1)
+        assert pool.acquire(0, 3) == 0
+        assert pool.acquire(1, 1) is None
+        assert pool.acquire(2, 1) is None
+        assert pool.acquire(3, 1) == 0
+
+    def test_any_free(self):
+        pool = FunctionalUnitPool(2)
+        pool.acquire(0, 5)
+        assert pool.any_free(0)
+        pool.acquire(0, 5)
+        assert not pool.any_free(0)
+        assert pool.any_free(5)
+
+    def test_duration_validation(self):
+        with pytest.raises(ValueError):
+            FunctionalUnitPool(1).acquire(0, 0)
+
+    def test_pool_size_validation(self):
+        with pytest.raises(ValueError):
+            FunctionalUnitPool(0)
+
+
+class TestIdleTracking:
+    def test_gap_becomes_interval(self):
+        pool = FunctionalUnitPool(1)
+        pool.acquire(0, 1)   # busy cycle 0
+        pool.acquire(5, 1)   # idle 1-4 -> interval of 4
+        pool.finalize(10)    # idle 6-9 -> interval of 4
+        assert pool.interval_sequences[0] == [4, 4]
+        assert pool.histograms[0].counts == {4: 2}
+
+    def test_leading_idle_counted(self):
+        pool = FunctionalUnitPool(1)
+        pool.acquire(3, 1)
+        pool.finalize(4)
+        assert pool.interval_sequences[0] == [3]
+
+    def test_never_used_unit_is_one_interval(self):
+        pool = FunctionalUnitPool(2)
+        pool.acquire(0, 1)
+        pool.finalize(10)
+        assert pool.interval_sequences[1] == [10]
+
+    def test_busy_plus_idle_equals_total(self):
+        pool = FunctionalUnitPool(2)
+        for cycle in (0, 3, 4, 10):
+            pool.acquire(cycle, 2)
+        pool.finalize(20)
+        for unit in range(2):
+            idle = pool.histograms[unit].total_idle_cycles
+            assert pool.busy_cycles[unit] + idle == 20
+
+    def test_idle_fraction(self):
+        pool = FunctionalUnitPool(2)
+        pool.acquire(0, 5)  # unit 0 busy 5 of 10
+        pool.finalize(10)
+        assert pool.idle_fraction(10) == pytest.approx(0.75)
+
+    def test_combined_histogram(self):
+        pool = FunctionalUnitPool(2)
+        pool.acquire(2, 1)  # unit 0: leading idle 2
+        pool.acquire(2, 1)  # unit 1: leading idle 2
+        pool.finalize(3)
+        combined = pool.combined_histogram()
+        assert combined.counts == {2: 2}
+
+    def test_finalize_idempotent_and_freezes(self):
+        pool = FunctionalUnitPool(1)
+        pool.acquire(0, 1)
+        pool.finalize(5)
+        pool.finalize(5)  # no-op
+        assert pool.interval_sequences[0] == [4]
+        with pytest.raises(RuntimeError):
+            pool.acquire(6, 1)
+
+
+class TestWarmupReset:
+    def test_reset_discards_history(self):
+        pool = FunctionalUnitPool(1)
+        pool.acquire(0, 1)
+        pool.acquire(10, 1)  # interval of 9 recorded
+        pool.reset_statistics(20)
+        pool.acquire(25, 1)  # idle 20-24 -> interval of 5
+        pool.finalize(30)
+        assert pool.interval_sequences[0] == [5, 4]
+        assert pool.operations[0] == 1
+        assert pool.busy_cycles[0] == 1
+
+    def test_reset_counts_inflight_overhang(self):
+        pool = FunctionalUnitPool(1)
+        pool.acquire(8, 5)  # busy 8-12
+        pool.reset_statistics(10)  # overhang: cycles 10-12
+        pool.finalize(20)
+        assert pool.busy_cycles[0] == 3
+        # Idle 13-19 after the in-flight op drains.
+        assert pool.interval_sequences[0] == [7]
+        assert pool.busy_cycles[0] + pool.histograms[0].total_idle_cycles == 10

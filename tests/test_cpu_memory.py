@@ -1,0 +1,80 @@
+"""Unit tests for the two-level memory hierarchy."""
+
+import pytest
+
+from repro.cpu.config import MachineConfig
+from repro.cpu.memory import MemoryHierarchy
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy.from_machine_config(MachineConfig())
+
+
+class TestDataPath:
+    def test_latency_ladder(self, hierarchy):
+        address = 0x5000_0000
+        cold = hierarchy.data_access_latency(address)
+        warm = hierarchy.data_access_latency(address)
+        # Cold: DTLB miss (30) + L1 miss -> L2 miss -> memory (12 + 80).
+        assert cold == 30 + 12 + 80
+        # Warm: everything hits at L1.
+        assert warm == 2
+
+    def test_l2_hit_after_l1_eviction(self, hierarchy):
+        target = 0x6000_0000
+        hierarchy.data_access_latency(target)  # install everywhere
+        # Thrash the L1 set with conflicting lines (same L1 set, 4-way).
+        l1_sets = hierarchy.l1_dcache.config.num_sets
+        line = hierarchy.l1_dcache.config.line_bytes
+        stride = l1_sets * line
+        for i in range(1, 9):
+            hierarchy.data_access_latency(target + i * stride)
+        latency = hierarchy.data_access_latency(target)
+        # L1 misses but the large L2 still holds the line; TLB still warm.
+        assert latency == 12
+
+    def test_statistics_flow(self, hierarchy):
+        hierarchy.data_access_latency(0x100)
+        assert hierarchy.l1_dcache.accesses == 1
+        assert hierarchy.l2_cache.accesses == 1  # L1 missed
+        hierarchy.data_access_latency(0x100)
+        assert hierarchy.l1_dcache.accesses == 2
+        assert hierarchy.l2_cache.accesses == 1  # L1 hit, no L2 access
+
+
+class TestInstructionPath:
+    def test_fetch_latency_ladder(self, hierarchy):
+        pc = 0x40_0000
+        cold = hierarchy.instruction_fetch_latency(pc)
+        warm = hierarchy.instruction_fetch_latency(pc)
+        assert cold == 30 + 12 + 80
+        assert warm == 2
+
+    def test_instruction_and_data_share_l2(self, hierarchy):
+        pc = 0x40_0000
+        hierarchy.instruction_fetch_latency(pc)
+        before = hierarchy.l2_cache.accesses
+        # A data access to the same line: L1D misses, L2 hits (unified).
+        latency = hierarchy.data_access_latency(pc)
+        assert hierarchy.l2_cache.accesses == before + 1
+        assert latency == 30 + 12  # DTLB cold, L2 hit
+
+    def test_separate_tlbs(self, hierarchy):
+        pc = 0x40_0000
+        hierarchy.instruction_fetch_latency(pc)
+        assert hierarchy.itlb.accesses == 1
+        assert hierarchy.dtlb.accesses == 0
+
+
+class TestValidation:
+    def test_negative_memory_latency_rejected(self, hierarchy):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(
+                hierarchy.l1_icache,
+                hierarchy.l1_dcache,
+                hierarchy.l2_cache,
+                hierarchy.itlb,
+                hierarchy.dtlb,
+                memory_latency=-1,
+            )

@@ -1,0 +1,75 @@
+"""Unit tests for the simulation statistics container."""
+
+import pytest
+
+from repro.cpu.stats import FunctionalUnitUsage, SimulationStats
+from repro.util.intervals import IntervalHistogram
+
+
+def usage(unit_id=0, busy=60, idle_lengths=(40,)):
+    hist = IntervalHistogram()
+    hist.extend(idle_lengths)
+    return FunctionalUnitUsage(
+        unit_id=unit_id,
+        busy_cycles=busy,
+        operations=busy,
+        idle_histogram=hist,
+        idle_intervals=list(idle_lengths),
+    )
+
+
+class TestFunctionalUnitUsage:
+    def test_idle_cycles(self):
+        assert usage(idle_lengths=(10, 30)).idle_cycles() == 40
+
+    def test_utilization(self):
+        assert usage(busy=60).utilization(100) == pytest.approx(0.6)
+        with pytest.raises(ValueError):
+            usage().utilization(0)
+
+
+class TestSimulationStats:
+    def build(self):
+        return SimulationStats(
+            total_cycles=100,
+            committed_instructions=150,
+            fu_usage=[usage(0, 60, (40,)), usage(1, 20, (50, 30))],
+            branch_lookups=40,
+            branch_mispredicts=4,
+            cache_accesses={"L1D": 50},
+            cache_misses={"L1D": 5},
+        )
+
+    def test_ipc(self):
+        assert self.build().ipc == pytest.approx(1.5)
+
+    def test_zero_cycles_ipc(self):
+        stats = SimulationStats(
+            total_cycles=0, committed_instructions=0, fu_usage=[]
+        )
+        assert stats.ipc == 0.0
+
+    def test_mispredict_rate(self):
+        assert self.build().branch_mispredict_rate == pytest.approx(0.1)
+
+    def test_cache_miss_rate(self):
+        stats = self.build()
+        assert stats.cache_miss_rate("L1D") == pytest.approx(0.1)
+        assert stats.cache_miss_rate("L2") == 0.0  # never accessed
+
+    def test_alu_idle_fraction(self):
+        # Unit 0 busy 60/100, unit 1 busy 20/100 -> idle = 1 - 80/200.
+        assert self.build().alu_idle_fraction() == pytest.approx(0.6)
+
+    def test_combined_histogram(self):
+        combined = self.build().combined_idle_histogram()
+        assert combined.counts == {40: 1, 50: 1, 30: 1}
+
+    def test_validate_catches_imbalance(self):
+        stats = self.build()
+        stats.fu_usage[0].busy_cycles = 10  # busy 10 + idle 40 != 100
+        with pytest.raises(ValueError):
+            stats.validate()
+
+    def test_validate_accepts_consistent(self):
+        self.build().validate()

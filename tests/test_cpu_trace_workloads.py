@@ -1,0 +1,163 @@
+"""Unit tests for trace representation and the synthetic workloads."""
+
+import pytest
+
+from repro.cpu.isa import OpClass
+from repro.cpu.trace import (
+    TraceInstruction,
+    dependency_distances,
+    trace_mix,
+    validate_trace,
+)
+from repro.cpu.workloads import (
+    BENCHMARKS,
+    benchmark_names,
+    generate_trace,
+    get_benchmark,
+)
+
+
+class TestTraceInstruction:
+    def test_slots_prevent_arbitrary_attributes(self):
+        instr = TraceInstruction(OpClass.INT_ALU, 0x1000)
+        with pytest.raises(AttributeError):
+            instr.bogus = 1
+
+    def test_validate_accepts_generated_traces(self):
+        trace = generate_trace(get_benchmark("gzip"), 2000)
+        validate_trace(trace)
+
+    def test_validate_rejects_forward_deps(self):
+        trace = [TraceInstruction(OpClass.INT_ALU, 0, dep1=1)]
+        with pytest.raises(ValueError):
+            validate_trace(trace)
+
+    def test_validate_rejects_taken_branch_without_target(self):
+        trace = [TraceInstruction(OpClass.BRANCH, 4, taken=True, target=0)]
+        with pytest.raises(ValueError):
+            validate_trace(trace)
+
+    def test_trace_mix_sums_to_one(self):
+        trace = generate_trace(get_benchmark("twolf"), 3000)
+        mix = trace_mix(trace)
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_trace_mix_empty(self):
+        assert trace_mix([]) == {}
+
+
+class TestBenchmarkRegistry:
+    def test_nine_benchmarks_in_paper_order(self):
+        assert benchmark_names() == [
+            "health", "mst", "gcc", "gzip", "mcf",
+            "parser", "twolf", "vortex", "vpr",
+        ]
+        assert set(benchmark_names()) == set(BENCHMARKS)
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            get_benchmark("nonsense")
+
+    def test_reference_values_match_table3(self):
+        expected = {
+            "health": (0.560, 0.554, 2),
+            "mst": (1.748, 1.748, 4),
+            "gcc": (1.622, 1.619, 2),
+            "gzip": (2.120, 2.120, 4),
+            "mcf": (0.523, 0.503, 2),
+            "parser": (1.692, 1.692, 4),
+            "twolf": (1.542, 1.475, 3),
+            "vortex": (2.387, 2.387, 4),
+            "vpr": (1.481, 1.431, 3),
+        }
+        for name, (max_ipc, ipc, fus) in expected.items():
+            profile = get_benchmark(name)
+            assert profile.reference_max_ipc == max_ipc
+            assert profile.reference_ipc == ipc
+            assert profile.reference_fus == fus
+
+    def test_body_mix_is_normalized(self):
+        for profile in BENCHMARKS.values():
+            assert profile.frac_int_alu >= 0.0
+
+
+class TestGenerateTrace:
+    def test_deterministic(self):
+        a = generate_trace(get_benchmark("gcc"), 1000, seed=7)
+        b = generate_trace(get_benchmark("gcc"), 1000, seed=7)
+        assert len(a) == len(b) == 1000
+        for x, y in zip(a, b):
+            assert (x.op, x.pc, x.dep1, x.dep2, x.address, x.taken, x.target) == (
+                y.op, y.pc, y.dep1, y.dep2, y.address, y.taken, y.target
+            )
+
+    def test_seed_changes_trace(self):
+        a = generate_trace(get_benchmark("gcc"), 1000, seed=7)
+        b = generate_trace(get_benchmark("gcc"), 1000, seed=8)
+        assert any(
+            (x.pc, x.taken) != (y.pc, y.taken) for x, y in zip(a, b)
+        )
+
+    def test_exact_length(self):
+        for n in (1, 17, 500):
+            assert len(generate_trace(get_benchmark("mst"), n)) == n
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            generate_trace(get_benchmark("mst"), 0)
+
+    def test_control_flow_consistency(self):
+        """A taken control op's target is the next instruction's PC."""
+        trace = generate_trace(get_benchmark("parser"), 4000)
+        control = (OpClass.BRANCH, OpClass.CALL, OpClass.RETURN)
+        checked = 0
+        for current, following in zip(trace, trace[1:]):
+            if current.op in control and current.taken:
+                assert current.target == following.pc
+                checked += 1
+            elif current.op not in control:
+                assert following.pc in (current.pc + 4, following.pc)
+        assert checked > 50  # the walk actually branched
+
+    def test_memory_ops_have_addresses(self):
+        trace = generate_trace(get_benchmark("mcf"), 2000)
+        for instr in trace:
+            if instr.op in (OpClass.LOAD, OpClass.STORE):
+                assert instr.address > 0
+
+    def test_dynamic_mix_tracks_profile(self):
+        """Deck sampling keeps dynamic load fraction near the profile's."""
+        profile = get_benchmark("mcf")
+        trace = generate_trace(profile, 20000)
+        mix = trace_mix(trace)
+        load_fraction = mix.get(OpClass.LOAD, 0.0)
+        # Control ops dilute body fractions; allow a wide but bounded band.
+        assert 0.5 * profile.frac_load < load_fraction < 1.2 * profile.frac_load
+
+    def test_dependency_distances_bounded_and_nonnegative(self):
+        trace = generate_trace(get_benchmark("vortex"), 3000)
+        distances = dependency_distances(trace)
+        assert distances  # deps exist
+        assert all(d >= 1 for d in distances)
+
+    def test_pointer_chasing_creates_load_chains(self):
+        """mcf's load_chain_prob must show up as load->load dependencies."""
+        trace = generate_trace(get_benchmark("mcf"), 5000)
+        chained = 0
+        loads = 0
+        for i, instr in enumerate(trace):
+            if instr.op != OpClass.LOAD:
+                continue
+            loads += 1
+            producer_index = i - instr.dep1
+            if instr.dep1 and trace[producer_index].op == OpClass.LOAD:
+                chained += 1
+        assert loads > 0
+        assert chained / loads > 0.4  # profile says 0.74, some draws miss
+
+    def test_call_return_balance(self):
+        trace = generate_trace(get_benchmark("parser"), 10000)
+        calls = sum(1 for i in trace if i.op == OpClass.CALL)
+        returns = sum(1 for i in trace if i.op == OpClass.RETURN)
+        assert calls > 10
+        assert abs(calls - returns) <= max(5, calls // 5)

@@ -1,0 +1,111 @@
+"""Tests for the analytic experiments (Table 1, Figures 3-5).
+
+Each test asserts the paper's published claims against the regenerated
+data, so a regression in the model shows up as a broken paper claim.
+"""
+
+import pytest
+
+from repro.circuits.gates import DominoStyle
+from repro.experiments import figure3, figure4, figure5, table1
+
+
+class TestTable1Experiment:
+    def test_model_matches_reference(self):
+        result = table1.run()
+        for style in DominoStyle:
+            measured = result.measured[style]
+            reference = result.reference[style]
+            assert measured.dynamic_energy_fj == pytest.approx(
+                reference.dynamic_energy_fj, rel=0.01
+            )
+            assert measured.leakage_hi_fj == pytest.approx(
+                reference.leakage_hi_fj, rel=0.01
+            )
+
+    def test_render_contains_all_styles(self):
+        text = table1.render(table1.run())
+        for style in DominoStyle:
+            assert style.value in text
+        assert "p =" in text  # derived constants footer
+
+
+class TestFigure3Experiment:
+    def test_breakeven_claims(self):
+        result = figure3.run()
+        assert result.breakeven_cycles[0.1] == 17  # the paper's number
+        # Break-even barely moves from alpha 0.1 to 0.5.
+        assert abs(result.breakeven_cycles[0.5] - 17) <= 2
+
+    def test_sleep_beats_idle_beyond_breakeven(self):
+        result = figure3.run()
+        curve = result.curves[0.1]
+        assert curve.sleep_pj[25] < curve.uncontrolled_pj[25]
+        assert curve.sleep_pj[5] > curve.uncontrolled_pj[5]
+
+    def test_render(self):
+        text = figure3.render(figure3.run())
+        assert "break-even at alpha=0.1: 17 cycles" in text
+
+
+class TestFigure4Experiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure4.run()
+
+    def test_breakeven_near_term_point(self, result):
+        """~20 cycles at p=0.05 for alpha=0.5 (the vertical line in 4a)."""
+        index = result.p_grid.index(0.05)
+        for alpha, values in result.breakeven:
+            if alpha == 0.5:
+                assert values[index] == pytest.approx(20.4, abs=0.5)
+
+    def test_panel_b_crossover(self, result):
+        """Figure 4b: MaxSleep loses at small p, wins at large p."""
+        panel = result.panels["b"][0.10]
+        first = panel[0]
+        last = panel[-1]
+        assert first.max_sleep > first.always_active
+        assert last.max_sleep < last.always_active
+
+    def test_panel_c_amortization(self, result):
+        """Figure 4c: at 100-cycle idles MaxSleep hugs NoOverhead."""
+        panel = result.panels["c"][0.10]
+        for energies in panel:
+            assert energies.max_sleep - energies.no_overhead < 0.07
+
+    def test_panel_d_worst_case(self, result):
+        """Figure 4d: 1-cycle idles make MaxSleep the worst policy
+        everywhere in the sweep."""
+        panel = result.panels["d"][0.50]
+        for energies in panel:
+            assert energies.max_sleep >= energies.always_active - 1e-12
+
+    def test_render_mentions_all_panels(self, result):
+        text = figure4.render(result)
+        for label in ("4a", "4b", "4c", "4d"):
+            assert f"Figure {label}" in text
+
+
+class TestFigure5Experiment:
+    def test_crossover_near_analytic_breakeven(self):
+        result = figure5.run()
+        assert result.curves.crossover_interval() == pytest.approx(
+            result.breakeven, abs=1.5
+        )
+
+    def test_gradual_hedges(self):
+        result = figure5.run()
+        curves = result.curves
+        n = curves.num_slices
+        # Short: below MaxSleep. Long: below AlwaysActive. Near
+        # break-even: above both (the hedging premium).
+        assert curves.gradual_sleep[2] < curves.max_sleep[2]
+        assert curves.gradual_sleep[100] < curves.always_active[100]
+        assert curves.gradual_sleep[n] > curves.max_sleep[n]
+        assert curves.gradual_sleep[n] > curves.always_active[n]
+
+    def test_render(self):
+        text = figure5.render(figure5.run())
+        assert "Figure 5c" in text
+        assert "break-even" in text

@@ -1,0 +1,194 @@
+"""Tests for the empirical experiments (Figures 7-9, Table 3).
+
+These run at QUICK_SCALE (small windows) and assert the *qualitative*
+paper claims: orderings, crossovers, and bands — not absolute values,
+which need the full-scale windows of the benchmark harness.
+"""
+
+import pytest
+
+from repro.experiments import figure7, figure8, figure9, table3
+from repro.experiments.common import QUICK_SCALE, collect_benchmark_data
+
+# Three benchmarks spanning the behavior range keep these tests fast.
+SUBSET = ("gzip", "mcf", "twolf")
+
+
+class TestCollectBenchmarkData:
+    def test_uses_reference_fu_counts(self):
+        data = collect_benchmark_data(scale=QUICK_SCALE, benchmarks=SUBSET)
+        by_name = {d.name: d for d in data}
+        assert by_name["gzip"].num_fus == 4
+        assert by_name["mcf"].num_fus == 2
+
+    def test_fu_override(self):
+        data = collect_benchmark_data(
+            scale=QUICK_SCALE, benchmarks=("mcf",), fu_override=4
+        )
+        assert data[0].num_fus == 4
+
+    def test_policy_evaluation_shape(self):
+        from repro.core.parameters import TechnologyParameters
+        from repro.core.policies import paper_policy_suite
+
+        data = collect_benchmark_data(scale=QUICK_SCALE, benchmarks=("gzip",))[0]
+        params = TechnologyParameters(leakage_factor_p=0.5)
+        energies = data.evaluate_policies(
+            params, 0.5, paper_policy_suite(params, 0.5)
+        )
+        assert len(energies) == 4
+        assert all(0 < e < 1.5 for e in energies.values())
+
+
+class TestFigure7Experiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure7.run(scale=QUICK_SCALE, benchmarks=SUBSET)
+
+    def test_idle_fraction_in_plausible_band(self, result):
+        for dist in result.distributions.values():
+            assert 0.2 < dist.overall_idle_fraction < 0.95
+
+    def test_bucket_fractions_sum_to_idle_fraction(self, result):
+        for dist in result.distributions.values():
+            assert dist.total_fraction == pytest.approx(
+                dist.overall_idle_fraction, rel=1e-6
+            )
+
+    def test_most_intervals_short(self, result):
+        """The paper: a large fraction of intervals fall within the L2
+        latency; long intervals are rare."""
+        dist = result.distributions[12]
+        assert dist.intervals_within_l2_latency > 0.5
+        long_mass = sum(
+            fraction
+            for edge, fraction in dist.bucket_fractions.items()
+            if edge > 1024
+        )
+        assert long_mass < 0.2 * dist.overall_idle_fraction
+
+    def test_longer_l2_increases_idle(self, result):
+        assert (
+            result.distributions[32].overall_idle_fraction
+            > result.distributions[12].overall_idle_fraction
+        )
+
+    def test_render(self, result):
+        text = figure7.render(result)
+        assert "Figure 7" in text
+        assert "12-cycle L2" in text and "32-cycle L2" in text
+
+
+class TestFigure8Experiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure8.run(scale=QUICK_SCALE, benchmarks=SUBSET)
+
+    def test_low_p_max_sleep_loses(self, result):
+        """Figure 8a's headline: at p=0.05 MaxSleep uses more energy than
+        AlwaysActive."""
+        summary = figure8.summarize(result, 0.05)
+        assert summary.max_sleep_vs_always_active > 0
+
+    def test_high_p_max_sleep_wins_big(self, result):
+        """Figure 8b: at p=0.50 MaxSleep saves substantially and captures
+        most of the NoOverhead potential."""
+        summary = figure8.summarize(result, 0.50)
+        assert summary.max_sleep_vs_always_active < -0.10
+        assert summary.max_sleep_fraction_of_potential > 0.5
+
+    def test_gradual_tracks_the_better_policy(self, result):
+        low = figure8.summarize(result, 0.05)
+        high = figure8.summarize(result, 0.50)
+        assert abs(low.gradual_vs_always_active) < 0.10
+        assert abs(high.gradual_vs_max_sleep) < 0.10
+
+    def test_alpha_whiskers_ordered(self, result):
+        """Higher alpha -> cheaper transitions -> MaxSleep improves."""
+        per_alpha = result.energies[0.50]
+        for bench in SUBSET:
+            assert (
+                per_alpha[0.75][bench]["MaxSleep"]
+                <= per_alpha[0.25][bench]["MaxSleep"] + 1e-9
+            )
+
+    def test_render(self, result):
+        text = figure8.render(result)
+        assert "p=0.05" in text and "p=0.5" in text
+        assert "Average" in text
+
+
+class TestFigure9Experiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure9.run(
+            scale=QUICK_SCALE,
+            benchmarks=SUBSET,
+            p_grid=(0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0),
+        )
+
+    def test_always_active_degrades_with_p(self, result):
+        series = result.relative_to_no_overhead["AlwaysActive"]
+        assert series[-1] > series[0]
+        assert series[-1] > 1.3
+
+    def test_max_sleep_converges_toward_no_overhead(self, result):
+        series = result.relative_to_no_overhead["MaxSleep"]
+        assert series[-1] < series[0]
+        assert series[-1] < 1.15
+
+    def test_crossover_in_low_p_region(self, result):
+        p = figure9.crossover_p(result)
+        assert p <= 0.35  # the paper's crossover is near 0.1-0.2
+
+    def test_gradual_tracks_lower_envelope(self, result):
+        aa = result.relative_to_no_overhead["AlwaysActive"]
+        ms = result.relative_to_no_overhead["MaxSleep"]
+        gs = result.relative_to_no_overhead["GradualSleep"]
+        for i in range(len(result.p_grid)):
+            envelope = min(aa[i], ms[i])
+            assert gs[i] <= envelope * 1.25
+
+    def test_leakage_fraction_grows_with_p(self, result):
+        for policy in ("AlwaysActive", "MaxSleep", "GradualSleep", "NoOverhead"):
+            series = result.leakage_fraction[policy]
+            assert series[-1] > series[0]
+            assert all(0.0 <= v <= 1.0 for v in series)
+
+    def test_no_overhead_has_lowest_leakage_fraction(self, result):
+        no = result.leakage_fraction["NoOverhead"]
+        aa = result.leakage_fraction["AlwaysActive"]
+        for n, a in zip(no, aa):
+            assert n <= a + 1e-9
+
+    def test_render(self, result):
+        text = figure9.render(result)
+        assert "Figure 9a" in text and "Figure 9b" in text
+
+
+class TestTable3Experiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table3.run(scale=QUICK_SCALE, benchmarks=SUBSET)
+
+    def test_ipc_monotone_in_fus(self, result):
+        for selection in result.selections:
+            ipcs = [selection.ipc_by_fus[f] for f in sorted(selection.ipc_by_fus)]
+            assert all(b >= a - 0.02 for a, b in zip(ipcs, ipcs[1:]))
+
+    def test_selection_rule(self, result):
+        for selection in result.selections:
+            peak = selection.max_ipc
+            chosen = selection.selected_fus
+            assert selection.ipc_by_fus[chosen] >= 0.95 * peak
+            for fewer in range(1, chosen):
+                assert selection.ipc_by_fus[fewer] < 0.95 * peak
+
+    def test_select_fu_count_helper(self):
+        assert table3.select_fu_count({1: 1.0, 2: 1.5, 3: 1.58, 4: 1.6}) == 3
+        assert table3.select_fu_count({1: 1.6, 2: 1.61, 3: 1.62, 4: 1.63}) == 1
+
+    def test_render(self, result):
+        text = table3.render(result)
+        assert "Table 3" in text
+        assert "FU selection matches" in text

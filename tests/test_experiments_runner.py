@@ -1,0 +1,51 @@
+"""Tests for the run-everything harness and the shared scale plumbing."""
+
+import io
+
+import pytest
+
+from repro.experiments.common import DEFAULT_SCALE, QUICK_SCALE, ExperimentScale
+
+
+class TestExperimentScale:
+    def test_defaults(self):
+        assert DEFAULT_SCALE.window_instructions == 40_000
+        assert DEFAULT_SCALE.warmup_instructions == 30_000
+        assert QUICK_SCALE.window_instructions < DEFAULT_SCALE.window_instructions
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(window_instructions=10)
+        with pytest.raises(ValueError):
+            ExperimentScale(warmup_instructions=-1)
+
+
+class TestRunner:
+    def test_analytic_experiments_stream_output(self, monkeypatch):
+        """Run the runner with the empirical experiments stubbed out so
+        the harness logic (ordering, streaming, headers) is covered
+        without minutes of simulation."""
+        from repro.experiments import runner
+
+        def fake_experiments(scale):
+            return [
+                ("Table 1", lambda: "TABLE1-BODY"),
+                ("Figure 3", lambda: "FIGURE3-BODY"),
+            ]
+
+        monkeypatch.setattr(runner, "_experiments", fake_experiments)
+        stream = io.StringIO()
+        runner.run_all(QUICK_SCALE, stream=stream)
+        output = stream.getvalue()
+        assert output.index("TABLE1-BODY") < output.index("FIGURE3-BODY")
+        assert "Table 1" in output and "Figure 3" in output
+
+    def test_experiment_list_covers_the_paper(self):
+        from repro.experiments import runner
+
+        names = [name for name, _ in runner._experiments(QUICK_SCALE)]
+        for expected in (
+            "Table 1", "Figure 3", "Figure 4", "Figure 5",
+            "Table 3", "Figure 7", "Figure 8", "Figure 9", "Ablations",
+        ):
+            assert expected in names

@@ -1,0 +1,223 @@
+"""Property-based tests (hypothesis) on the core model invariants.
+
+These encode the paper's structural claims as laws over the whole
+parameter space rather than spot values:
+
+* algebraic consistency between the energy formulations,
+* policy dominance (NoOverhead is a true lower bound; the oracle is the
+  per-interval optimum),
+* break-even consistency (MaxSleep beats AlwaysActive exactly when the
+  interval exceeds the break-even length),
+* GradualSleep's cycle conservation and limiting behavior,
+* cache/TLB structural invariants,
+* predictor counter behavior.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.accounting import EnergyAccountant
+from repro.core.breakeven import breakeven_interval
+from repro.core.energy_model import CycleCounts, relative_energy
+from repro.core.gradual import GradualSleepDesign
+from repro.core.parameters import TechnologyParameters
+from repro.core.policies import (
+    AlwaysActivePolicy,
+    BreakevenOraclePolicy,
+    GradualSleepPolicy,
+    MaxSleepPolicy,
+    NoOverheadPolicy,
+    run_policy_on_intervals,
+)
+from repro.core.transition import (
+    always_active_interval_energy,
+    max_sleep_interval_energy,
+)
+from repro.cpu.branch import SaturatingCounterTable
+from repro.cpu.caches import SetAssociativeCache
+from repro.cpu.config import CacheConfig
+from repro.cpu.fu import FunctionalUnitPool
+from repro.util.intervals import IntervalHistogram, log2_bucket
+
+# Strategy building blocks.
+techs = st.builds(
+    TechnologyParameters,
+    leakage_factor_p=st.floats(0.01, 1.0),
+    sleep_ratio_k=st.floats(0.0, 0.1),
+    sleep_overhead=st.floats(0.0, 0.2),
+    duty_cycle=st.floats(0.1, 1.0),
+)
+alphas = st.floats(0.0, 1.0)
+interval_lists = st.lists(st.integers(1, 500), min_size=1, max_size=40)
+
+
+class TestEnergyModelLaws:
+    @given(techs, alphas, st.floats(0, 1e5), st.floats(0, 1e5), st.floats(0, 1e5))
+    def test_total_is_sum_of_breakdown(self, params, alpha, active, uidle, sleep):
+        counts = CycleCounts(
+            active=active,
+            uncontrolled_idle=uidle,
+            sleep=sleep,
+            transitions=min(active, sleep),
+        )
+        breakdown = relative_energy(params, alpha, counts)
+        component_sum = (
+            breakdown.dynamic
+            + breakdown.active_leakage
+            + breakdown.uncontrolled_idle_leakage
+            + breakdown.sleep_leakage
+            + breakdown.transition_dynamic
+            + breakdown.transition_overhead
+        )
+        assert breakdown.total == pytest.approx(component_sum)
+        assert breakdown.total >= 0
+
+    @given(techs, alphas)
+    def test_per_cycle_energy_ordering(self, params, alpha):
+        """Sleep cycles never leak more than uncontrolled idle cycles,
+        which never cost more than active cycles."""
+        assert params.sleep_cycle_energy() <= params.uncontrolled_idle_energy(
+            alpha
+        ) + 1e-15
+        assert (
+            params.uncontrolled_idle_energy(alpha)
+            <= params.active_cycle_energy(alpha) + 1e-15
+        )
+
+    @given(techs, alphas, st.floats(1, 1e4), st.floats(0.1, 10))
+    def test_energy_scales_linearly(self, params, alpha, active, factor):
+        counts = CycleCounts(active=active, uncontrolled_idle=active / 2)
+        one = relative_energy(params, alpha, counts).total
+        scaled = relative_energy(params, alpha, counts.scaled(factor)).total
+        assert scaled == pytest.approx(one * factor, rel=1e-9)
+
+
+class TestPolicyDominanceLaws:
+    @given(techs, st.floats(0.0, 0.99), interval_lists)
+    def test_no_overhead_is_global_lower_bound(self, params, alpha, intervals):
+        accountant = EnergyAccountant(params, alpha)
+        hist = IntervalHistogram()
+        hist.extend(intervals)
+        lower = accountant.evaluate_histogram(NoOverheadPolicy(), 10, hist)
+        for policy in (
+            MaxSleepPolicy(),
+            AlwaysActivePolicy(),
+            GradualSleepPolicy.for_technology(params, alpha),
+            BreakevenOraclePolicy(params, alpha),
+        ):
+            result = accountant.evaluate_histogram(policy, 10, hist)
+            assert result.total_energy >= lower.total_energy - 1e-9
+
+    @given(techs, st.floats(0.0, 0.99), interval_lists)
+    def test_oracle_is_per_interval_optimum(self, params, alpha, intervals):
+        oracle = run_policy_on_intervals(
+            BreakevenOraclePolicy(params, alpha), intervals, params, alpha, 0
+        )
+        best_possible = sum(
+            min(
+                max_sleep_interval_energy(params, alpha, L),
+                always_active_interval_energy(params, alpha, L),
+            )
+            for L in intervals
+        )
+        assert oracle.total_energy == pytest.approx(best_possible, rel=1e-9)
+
+    @given(techs, st.floats(0.0, 0.99), st.integers(1, 1000))
+    def test_breakeven_separates_policies(self, params, alpha, interval):
+        """MaxSleep beats AlwaysActive on an interval iff it is longer
+        than the break-even length (equation 4)."""
+        n_be = breakeven_interval(params, alpha)
+        ms = max_sleep_interval_energy(params, alpha, interval)
+        aa = always_active_interval_energy(params, alpha, interval)
+        if interval > n_be + 1e-9:
+            assert ms < aa + 1e-12
+        elif interval < n_be - 1e-9:
+            assert ms > aa - 1e-12
+
+
+class TestGradualSleepLaws:
+    @given(
+        st.integers(1, 64),
+        st.integers(1, 500),
+        techs,
+        st.floats(0.0, 1.0),
+    )
+    def test_cycle_conservation(self, slices, interval, params, alpha):
+        policy = GradualSleepPolicy(GradualSleepDesign(num_slices=slices))
+        outcome = policy.on_interval(interval)
+        assert outcome.uncontrolled_idle + outcome.sleep == pytest.approx(
+            float(interval)
+        )
+        assert 0.0 <= outcome.transitions <= 1.0
+
+    @given(st.integers(1, 64), techs, st.floats(0.0, 0.99))
+    def test_gradual_bounded_by_extremes_in_limit(self, slices, params, alpha):
+        """For long intervals GradualSleep costs at least MaxSleep but at
+        most AlwaysActive."""
+        design = GradualSleepDesign(num_slices=slices)
+        interval = slices * 50 + 100
+        gradual = design.interval_energy(params, alpha, interval)
+        ms = max_sleep_interval_energy(params, alpha, interval)
+        aa = always_active_interval_energy(params, alpha, interval)
+        assert gradual >= ms - 1e-9
+        assert gradual <= aa + params.transition_energy(alpha) + 1e-9
+
+
+class TestHistogramLaws:
+    @given(interval_lists)
+    def test_histogram_totals(self, intervals):
+        hist = IntervalHistogram()
+        hist.extend(intervals)
+        assert hist.num_intervals == len(intervals)
+        assert hist.total_idle_cycles == sum(intervals)
+        assert sum(hist.bucketed_time().values()) == sum(intervals)
+
+    @given(st.integers(1, 100000))
+    def test_bucket_is_smallest_covering_power(self, interval):
+        bucket = log2_bucket(interval)
+        assert bucket >= min(interval, 8192)
+        if bucket > 1 and interval <= 8192:
+            assert bucket // 2 < interval
+
+
+class TestStructuralLaws:
+    @given(st.lists(st.integers(0, 2**20), min_size=1, max_size=200))
+    def test_cache_occupancy_bounded(self, addresses):
+        cache = SetAssociativeCache(
+            CacheConfig(size_bytes=4096, ways=2, line_bytes=64, hit_latency=1)
+        )
+        for address in addresses:
+            cache.lookup(address)
+        for entry in cache._sets:
+            assert len(entry) <= 2
+        assert cache.misses <= cache.accesses
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    def test_counter_stays_in_range(self, outcomes):
+        table = SaturatingCounterTable(16)
+        for taken in outcomes:
+            table.update(5, taken)
+            assert 0 <= table.counter(5) <= 3
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(1, 3)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_fu_pool_conservation(self, claims):
+        """However ops are scheduled, busy + idle == total per unit."""
+        pool = FunctionalUnitPool(2)
+        cycle = 0
+        for gap, duration in claims:
+            cycle += gap
+            pool.acquire(cycle, duration)
+            cycle += 1
+        end = cycle + 10
+        pool.finalize(end)
+        for unit in range(2):
+            idle = pool.histograms[unit].total_idle_cycles
+            assert pool.busy_cycles[unit] + idle == end

@@ -1,0 +1,121 @@
+"""Unit tests for idle-interval bookkeeping."""
+
+import pytest
+
+from repro.util.intervals import (
+    IntervalHistogram,
+    intervals_from_busy_cycles,
+    log2_bucket,
+    log2_bucket_edges,
+)
+
+
+class TestLog2Bucket:
+    def test_exact_powers_map_to_themselves(self):
+        for power in (1, 2, 4, 8, 4096, 8192):
+            assert log2_bucket(power) == power
+
+    def test_intermediate_values_round_up(self):
+        assert log2_bucket(3) == 4
+        assert log2_bucket(5) == 8
+        assert log2_bucket(129) == 256
+
+    def test_saturation_at_max_bucket(self):
+        assert log2_bucket(8193) == 8192
+        assert log2_bucket(10**9) == 8192
+
+    def test_custom_max_bucket(self):
+        assert log2_bucket(100, max_bucket=64) == 64
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log2_bucket(0)
+
+    def test_edges_cover_range(self):
+        edges = log2_bucket_edges(8192)
+        assert edges[0] == 1
+        assert edges[-1] == 8192
+        assert len(edges) == 14
+
+
+class TestIntervalHistogram:
+    def test_add_and_totals(self):
+        hist = IntervalHistogram()
+        hist.add(3)
+        hist.add(3)
+        hist.add(10, count=4)
+        assert hist.num_intervals == 6
+        assert hist.total_idle_cycles == 3 + 3 + 40
+        assert hist.mean_interval == pytest.approx(46 / 6)
+
+    def test_empty_histogram(self):
+        hist = IntervalHistogram()
+        assert hist.num_intervals == 0
+        assert hist.total_idle_cycles == 0
+        assert hist.mean_interval == 0.0
+
+    def test_rejects_bad_values(self):
+        hist = IntervalHistogram()
+        with pytest.raises(ValueError):
+            hist.add(0)
+        with pytest.raises(ValueError):
+            hist.add(5, count=0)
+
+    def test_extend_and_iteration_order(self):
+        hist = IntervalHistogram()
+        hist.extend([5, 1, 5, 2])
+        assert list(hist) == [(1, 1), (2, 1), (5, 2)]
+
+    def test_merge_accumulates(self):
+        a = IntervalHistogram()
+        a.extend([1, 2])
+        b = IntervalHistogram()
+        b.extend([2, 3])
+        a.merge(b)
+        assert a.counts == {1: 1, 2: 2, 3: 1}
+
+    def test_fraction_within_limit(self):
+        hist = IntervalHistogram()
+        hist.add(2, count=5)   # 10 cycles
+        hist.add(100, count=1)  # 100 cycles
+        assert hist.fraction_of_idle_time_within(2) == pytest.approx(10 / 110)
+        assert hist.fraction_of_idle_time_within(100) == 1.0
+
+    def test_bucketed_time_sums_to_total(self):
+        hist = IntervalHistogram()
+        hist.extend([1, 3, 17, 9000])
+        buckets = hist.bucketed_time()
+        assert sum(buckets.values()) == hist.total_idle_cycles
+        assert buckets[8192] == 9000
+
+    def test_bucketed_fractions(self):
+        hist = IntervalHistogram()
+        hist.add(4, count=10)
+        fractions = hist.bucketed_time_fractions(total_cycles=100)
+        assert fractions[4] == pytest.approx(0.4)
+        with pytest.raises(ValueError):
+            hist.bucketed_time_fractions(total_cycles=0)
+
+
+class TestIntervalsFromBusyCycles:
+    def test_gaps_and_edges(self):
+        assert intervals_from_busy_cycles([2, 3, 7], 10) == [2, 3, 2]
+
+    def test_no_busy_cycles_is_one_big_interval(self):
+        assert intervals_from_busy_cycles([], 5) == [5]
+
+    def test_fully_busy_has_no_intervals(self):
+        assert intervals_from_busy_cycles([0, 1, 2], 3) == []
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            intervals_from_busy_cycles([3, 2], 10)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            intervals_from_busy_cycles([10], 10)
+
+    def test_total_conservation(self):
+        busy = [0, 4, 5, 9, 20]
+        intervals = intervals_from_busy_cycles(busy, 25)
+        assert sum(intervals) + len(busy) == 25

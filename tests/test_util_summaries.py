@@ -1,0 +1,71 @@
+"""Unit tests for statistical summaries."""
+
+import pytest
+
+from repro.util.summaries import (
+    arithmetic_mean,
+    geometric_mean,
+    relative_difference,
+    weighted_mean,
+)
+
+
+class TestArithmeticMean:
+    def test_basic(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_scale_invariance(self):
+        values = [0.5, 1.5, 2.5]
+        assert geometric_mean([2 * v for v in values]) == pytest.approx(
+            2 * geometric_mean(values)
+        )
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestWeightedMean:
+    def test_basic(self):
+        assert weighted_mean([1.0, 3.0], [1.0, 3.0]) == pytest.approx(2.5)
+
+    def test_uniform_weights_match_mean(self):
+        values = [2.0, 4.0, 9.0]
+        assert weighted_mean(values, [1, 1, 1]) == pytest.approx(
+            arithmetic_mean(values)
+        )
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [1.0, 2.0])
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0, 2.0], [0.0, 0.0])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [-1.0])
+
+
+class TestRelativeDifference:
+    def test_sign_convention(self):
+        assert relative_difference(1.1, 1.0) == pytest.approx(0.1)
+        assert relative_difference(0.9, 1.0) == pytest.approx(-0.1)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            relative_difference(1.0, 0.0)

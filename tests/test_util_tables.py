@@ -1,0 +1,40 @@
+"""Unit tests for the text table renderer."""
+
+import pytest
+
+from repro.util.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["a", "bb"], [[1, 2], [30, 40]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        # all rows equal width
+        assert len({len(line) for line in lines[1:]}) == 1
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_float_precision(self):
+        text = format_table(["x"], [[0.123456789]], precision=3)
+        assert "0.123" in text
+        assert "0.1234" not in text
+
+    def test_empty_rows_renders_header(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+
+class TestFormatSeries:
+    def test_columns(self):
+        text = format_series("x", [1, 2], [("y", [10, 20]), ("z", [30, 40])])
+        lines = text.splitlines()
+        assert "x" in lines[0] and "y" in lines[0] and "z" in lines[0]
+        assert "10" in lines[2] and "30" in lines[2]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], [("y", [10])])

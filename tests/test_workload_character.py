@@ -1,0 +1,77 @@
+"""Per-benchmark character tests: does each synthetic workload express
+the behavior its real counterpart is known for?
+
+These guard the calibration qualitatively (the quantitative IPC/FU checks
+live in the Table 3 bench): if a profile edit silently turns mcf into a
+compute-bound program, these fail.
+"""
+
+import pytest
+
+from repro.cpu.config import MachineConfig
+from repro.cpu.simulator import simulate_workload
+from repro.cpu.workloads import get_benchmark
+
+# Windows must reach the profiles' steady state: predictors and caches
+# train over the warmup, which the footprints are sized for.
+WINDOW = 10_000
+WARMUP = 25_000
+
+
+def run(name, fus=None):
+    profile = get_benchmark(name)
+    config = MachineConfig().with_int_fus(fus or profile.reference_fus)
+    return simulate_workload(
+        profile, WINDOW, config=config, warmup_instructions=WARMUP
+    ).stats
+
+
+class TestMemoryBoundPair:
+    def test_mcf_misses_in_the_l2(self):
+        stats = run("mcf")
+        # Pointer chasing over a >L2 heap: L2 misses must be substantial.
+        assert stats.cache_miss_rate("L2") > 0.2
+        assert stats.cache_miss_rate("L1D") > 0.05
+
+    def test_health_and_mcf_are_the_idle_extremes(self):
+        idles = {name: run(name).alu_idle_fraction()
+                 for name in ("health", "mcf", "gzip", "vortex")}
+        assert min(idles["health"], idles["mcf"]) > max(
+            idles["gzip"], idles["vortex"]
+        )
+
+
+class TestPredictabilitySpread:
+    def test_gzip_and_vortex_predict_well(self):
+        for name in ("gzip", "vortex"):
+            assert run(name).branch_mispredict_rate < 0.09
+
+    def test_gcc_mispredicts_more_than_gzip(self):
+        assert (
+            run("gcc").branch_mispredict_rate
+            > run("gzip").branch_mispredict_rate
+        )
+
+
+class TestCodeFootprintSpread:
+    def test_gcc_touches_the_most_code(self):
+        from repro.cpu.workloads import generate_trace
+
+        def distinct_pcs(name):
+            trace = generate_trace(get_benchmark(name), 10_000)
+            return len({i.pc for i in trace})
+
+        gcc = distinct_pcs("gcc")
+        gzip = distinct_pcs("gzip")
+        assert gcc > 4 * gzip  # compiler vs tight compression loops
+
+
+class TestStreamingBehavior:
+    def test_gzip_keeps_data_in_the_l1(self):
+        stats = run("gzip")
+        assert stats.cache_miss_rate("L1D") < 0.08
+
+    def test_dtlb_pressure_only_for_big_footprints(self):
+        assert run("mcf").cache_miss_rate("DTLB") > run("gzip").cache_miss_rate(
+            "DTLB"
+        )
