@@ -3,17 +3,28 @@
 The empirical benches run the full nine-benchmark suite at a medium
 scale: large enough to reach each workload's steady state (the profiles
 are sized for it), small enough to keep the whole harness to a few
-minutes. Simulations are shared across benches through the simulator's
-result cache, mirroring how the paper derives Figures 7-9 and Table 3
-from one set of runs.
+minutes. Simulations are shared *within* a session through the
+simulator's in-process memo and *across* sessions through the persistent
+result cache (``~/.cache/repro``, or ``$REPRO_CACHE_DIR``): after the
+first run, the bench suite stops re-simulating entirely until the
+simulator sources change, mirroring how the paper derives Figures 7-9
+and Table 3 from one set of runs.
 """
 
 import pytest
 
+from repro.exec import cache as result_cache
 from repro.experiments.common import ExperimentScale
 
 #: Scale used by the empirical benchmark harness.
 MEDIUM_SCALE = ExperimentScale(window_instructions=20_000, warmup_instructions=15_000)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _shared_result_cache():
+    """Use the real persistent cache so repeat bench runs skip simulation."""
+    result_cache.configure()
+    yield
 
 
 @pytest.fixture(scope="session")

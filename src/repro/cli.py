@@ -2,6 +2,12 @@
 
 Lists and runs the paper's experiments by name. ``all`` runs the full
 set (equivalent to ``python -m repro.experiments.runner``).
+
+Execution-engine flags apply to every experiment: ``--jobs N`` fans
+simulation batches out across N worker processes, ``--cache-dir`` points
+the persistent result cache somewhere other than ``~/.cache/repro``, and
+``--no-cache`` disables the persistent layer (the in-process memo still
+applies).
 """
 
 from __future__ import annotations
@@ -58,6 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="reduced simulation windows (smoke-test scale)",
     )
+    runner.add_execution_arguments(parser)
     return parser
 
 
@@ -69,8 +76,9 @@ def main(argv=None) -> int:
         for name in sorted(registry):
             print(name)
         return 0
+    runner.apply_execution_arguments(args)
     if args.experiment == "all":
-        runner.run_all(scale)
+        runner.run_all(scale, jobs=args.jobs)
         return 0
     print(registry[args.experiment]())
     return 0

@@ -55,6 +55,15 @@ class CycleCounts:
             transitions=self.transitions * factor,
         )
 
+    def plus(self, other: "CycleCounts") -> "CycleCounts":
+        """Component-wise sum (combining multiple functional units)."""
+        return CycleCounts(
+            active=self.active + other.active,
+            uncontrolled_idle=self.uncontrolled_idle + other.uncontrolled_idle,
+            sleep=self.sleep + other.sleep,
+            transitions=self.transitions + other.transitions,
+        )
+
 
 @dataclass(frozen=True)
 class EnergyBreakdown:

@@ -1,9 +1,20 @@
 """Simulator façade: workload in, statistics out, with result caching.
 
 The experiments drive many (workload, FU-count, L2-latency) combinations;
-:func:`simulate_workload` memoizes completed runs in-process so, e.g.,
-Figure 7 and Figure 8 share the same simulations, as they do in the
-paper.
+:func:`simulate_workload` looks results up through two cache layers before
+simulating:
+
+1. an in-process memo, so e.g. Figure 7 and Figure 8 share the same
+   simulations within one run, as they do in the paper;
+2. the persistent on-disk cache of :mod:`repro.exec.cache`, so repeated
+   invocations (CLI runs, the bench suite, CI) stop re-simulating
+   entirely. Persistent keys fold in a fingerprint of the simulator
+   sources (:func:`repro.exec.hashing.model_fingerprint`), so entries
+   written by an older model are never returned.
+
+Batch submission across cores is handled by :mod:`repro.exec.engine`,
+which shares these cache layers through :func:`cached_result` and
+:func:`store_result`.
 """
 
 from __future__ import annotations
@@ -15,6 +26,8 @@ from repro.cpu.config import MachineConfig
 from repro.cpu.pipeline import Pipeline
 from repro.cpu.stats import SimulationStats
 from repro.cpu.workloads import WorkloadProfile, generate_trace
+from repro.exec import cache as result_cache
+from repro.exec.hashing import simulation_key
 
 
 @dataclass(frozen=True)
@@ -73,7 +86,90 @@ class Simulator:
         )
 
 
-_CACHE: Dict[Tuple, SimulationResult] = {}
+_MEMO: Dict[Tuple, SimulationResult] = {}
+
+
+def _memo_key(
+    profile: WorkloadProfile,
+    num_instructions: int,
+    warmup_instructions: int,
+    seed: int,
+    config: MachineConfig,
+) -> Tuple:
+    # The full (frozen, hashable) profile, not just its name, so two
+    # distinct custom profiles sharing a name cannot collide.
+    return (profile, num_instructions, warmup_instructions, seed, config)
+
+
+def cached_result(
+    profile: WorkloadProfile,
+    num_instructions: int,
+    config: Optional[MachineConfig] = None,
+    seed: int = 1,
+    warmup_instructions: int = 0,
+) -> Optional[SimulationResult]:
+    """Look a simulation up through both cache layers without running it.
+
+    A persistent-cache hit is promoted into the in-process memo so later
+    lookups in the same process skip the disk.
+    """
+    if config is None:
+        config = MachineConfig()
+    key = _memo_key(profile, num_instructions, warmup_instructions, seed, config)
+    hit = _MEMO.get(key)
+    if hit is not None:
+        return hit
+    persistent = result_cache.active()
+    if persistent is None:
+        return None
+    stored = persistent.get(
+        simulation_key(profile, num_instructions, warmup_instructions, seed, config)
+    )
+    if isinstance(stored, SimulationResult):
+        _MEMO[key] = stored
+        return stored
+    return None
+
+
+def store_result(
+    profile: WorkloadProfile, result: SimulationResult, persist: bool = True
+) -> None:
+    """Record a completed simulation in the memo and the persistent cache."""
+    key = _memo_key(
+        profile,
+        result.num_instructions,
+        result.warmup_instructions,
+        result.seed,
+        result.config,
+    )
+    _MEMO[key] = result
+    if not persist:
+        return
+    persistent = result_cache.active()
+    if persistent is None:
+        return
+    try:
+        persistent.put(
+            simulation_key(
+                profile,
+                result.num_instructions,
+                result.warmup_instructions,
+                result.seed,
+                result.config,
+            ),
+            result,
+        )
+    except OSError as error:
+        # A misconfigured or read-only cache directory must not discard a
+        # completed simulation: warn once and fall back to memo-only.
+        import sys
+
+        print(
+            f"[repro] warning: cannot write result cache "
+            f"({persistent.directory}): {error}; persistent caching disabled",
+            file=sys.stderr,
+        )
+        result_cache.configure(enabled=False)
 
 
 def simulate_workload(
@@ -86,22 +182,34 @@ def simulate_workload(
 ) -> SimulationResult:
     """Run (or reuse) a simulation of ``profile`` on ``config``.
 
-    The cache key covers everything that determines the outcome: profile
-    name, window, warmup, seed, and the machine configuration.
+    The cache key covers everything that determines the outcome: the
+    profile, window, warmup, seed, and the machine configuration.
+    ``use_cache=False`` bypasses both the memo and the persistent layer.
     """
     if config is None:
         config = MachineConfig()
-    key = (profile.name, num_instructions, warmup_instructions, seed, config)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
+    if use_cache:
+        hit = cached_result(
+            profile,
+            num_instructions,
+            config=config,
+            seed=seed,
+            warmup_instructions=warmup_instructions,
+        )
+        if hit is not None:
+            return hit
     result = Simulator(profile, config=config, seed=seed).run(
         num_instructions, warmup_instructions=warmup_instructions
     )
     if use_cache:
-        _CACHE[key] = result
+        store_result(profile, result)
     return result
 
 
 def clear_simulation_cache() -> None:
-    """Drop all memoized simulation results (mainly for tests)."""
-    _CACHE.clear()
+    """Drop all memoized simulation results (mainly for tests).
+
+    Only the in-process memo is cleared; use
+    :meth:`repro.exec.cache.ResultCache.clear` for the persistent layer.
+    """
+    _MEMO.clear()

@@ -1,0 +1,64 @@
+"""Experiment execution engine: job keys, persistent cache, scheduler.
+
+This package is the substrate the experiments run on:
+
+* :mod:`repro.exec.hashing` — canonical content hashing of job
+  parameters, versioned by a fingerprint of the simulator sources;
+* :mod:`repro.exec.cache` — the persistent on-disk result cache
+  (``~/.cache/repro`` by default) layered under the simulator's
+  in-process memo;
+* :mod:`repro.exec.jobs` — :class:`SimulationJob`, the unit of
+  schedulable work;
+* :mod:`repro.exec.engine` — batch deduplication and multi-core fan-out
+  with deterministic result ordering.
+
+:mod:`repro.cpu.simulator` imports the cache layer from here, and the
+job/engine layer imports the simulator — so this ``__init__`` loads only
+the cycle-free base modules eagerly and resolves the rest lazily.
+"""
+
+from __future__ import annotations
+
+from repro.exec import cache, hashing
+from repro.exec.cache import ResultCache, default_cache_dir
+from repro.exec.hashing import canonical_key, model_fingerprint, simulation_key
+
+_LAZY = {
+    "SimulationJob": ("repro.exec.jobs", "SimulationJob"),
+    "BatchReport": ("repro.exec.engine", "BatchReport"),
+    "run_jobs": ("repro.exec.engine", "run_jobs"),
+    "resolve_workers": ("repro.exec.engine", "resolve_workers"),
+    "set_default_workers": ("repro.exec.engine", "set_default_workers"),
+    "get_default_workers": ("repro.exec.engine", "get_default_workers"),
+    "jobs": ("repro.exec.jobs", None),
+    "engine": ("repro.exec.engine", None),
+}
+
+__all__ = [
+    "BatchReport",
+    "ResultCache",
+    "SimulationJob",
+    "cache",
+    "canonical_key",
+    "default_cache_dir",
+    "engine",
+    "get_default_workers",
+    "hashing",
+    "jobs",
+    "model_fingerprint",
+    "resolve_workers",
+    "run_jobs",
+    "set_default_workers",
+    "simulation_key",
+]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attr) if attr else module

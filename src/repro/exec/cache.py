@@ -1,0 +1,165 @@
+"""Persistent on-disk result cache.
+
+Stores pickled values keyed by the canonical hashes of
+:mod:`repro.exec.hashing`, under ``~/.cache/repro`` by default (override
+with ``--cache-dir`` on the CLIs or the ``REPRO_CACHE_DIR`` environment
+variable; disable entirely with ``--no-cache`` or ``REPRO_NO_CACHE=1``).
+
+Because every key folds in the model fingerprint, entries written by an
+older version of the simulator are simply never looked up again — stale
+results cannot leak across code changes. Writes are atomic (temp file +
+rename) so concurrent processes sharing one cache directory never observe
+torn entries.
+
+The module keeps one process-wide *active* cache, configured once by the
+CLI (or implicitly on first use); the simulator façade layers it under
+its in-process memo.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_NO_CACHE = "REPRO_NO_CACHE"
+
+_SUFFIX = ".pkl"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    override = os.environ.get(ENV_CACHE_DIR)
+    if override:
+        return Path(override).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+class ResultCache:
+    """A directory of pickled values addressed by hex content keys.
+
+    Entries are sharded into ``key[:2]`` subdirectories to keep any one
+    directory small. Unreadable or corrupt entries count as misses and
+    are deleted.
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory).expanduser()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _path(self, key: str) -> Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"cache keys must be lowercase hex, got {key!r}")
+        return self.directory / key[:2] / (key + _SUFFIX)
+
+    def get(self, key: str) -> Optional[object]:
+        """The cached value for ``key``, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            value = pickle.loads(data)
+        except Exception:
+            # A torn or incompatible entry: drop it and treat as a miss.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: object) -> None:
+        """Atomically persist ``value`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    def _entries(self) -> Iterator[Path]:
+        if not self.directory.is_dir():
+            return iter(())
+        return self.directory.glob(f"??/*{_SUFFIX}")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self._entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+# -- process-wide active cache -------------------------------------------------
+
+_active_cache: Optional[ResultCache] = None
+_enabled: bool = True
+_configured: bool = False
+
+
+def configure(
+    cache_dir: Optional[Union[str, Path]] = None, enabled: bool = True
+) -> Optional[ResultCache]:
+    """Set the process-wide cache; returns it (``None`` when disabled).
+
+    ``cache_dir=None`` selects :func:`default_cache_dir`. Passing
+    ``enabled=False`` (the CLI's ``--no-cache``) turns the persistent
+    layer off; the in-process memo is unaffected.
+    """
+    global _active_cache, _enabled, _configured
+    _configured = True
+    _enabled = enabled and os.environ.get(ENV_NO_CACHE, "") not in ("1", "true")
+    if not _enabled:
+        _active_cache = None
+        return None
+    directory = Path(cache_dir).expanduser() if cache_dir else default_cache_dir()
+    if _active_cache is None or _active_cache.directory != directory:
+        _active_cache = ResultCache(directory)
+    return _active_cache
+
+
+def active() -> Optional[ResultCache]:
+    """The process-wide cache, configured on first use; ``None`` if off."""
+    if not _configured:
+        configure()
+    return _active_cache if _enabled else None
+
+
+def snapshot() -> tuple:
+    """Opaque snapshot of the process-wide cache configuration.
+
+    Pair with :func:`restore` around code that calls :func:`configure`
+    (tests, embedding applications) to avoid leaking configuration.
+    """
+    return (_active_cache, _enabled, _configured)
+
+
+def restore(state: tuple) -> None:
+    """Reinstate a configuration captured by :func:`snapshot`."""
+    global _active_cache, _enabled, _configured
+    _active_cache, _enabled, _configured = state

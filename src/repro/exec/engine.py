@@ -1,0 +1,155 @@
+"""The batch scheduler: deduplicate, fan out, return in order.
+
+:func:`run_jobs` is the single entry point the experiments submit their
+simulation batches through. It
+
+1. deduplicates the batch by canonical cache key (Figure 7's 12-cycle-L2
+   batch and Figure 8's default batch are the same nine jobs);
+2. resolves whatever it can from the cache layers (in-process memo, then
+   the persistent on-disk cache);
+3. fans the remaining jobs out across worker processes with
+   :class:`concurrent.futures.ProcessPoolExecutor` (or runs them inline
+   when one worker is requested or only one job is pending);
+4. stores fresh results back into both cache layers;
+5. returns results in the submission order of the *original* batch, so
+   parallel and serial execution are observationally identical.
+
+The default worker count is process-wide state set by the CLIs'
+``--jobs`` flag (or ``REPRO_JOBS``); library callers can override it per
+batch.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cpu.simulator import SimulationResult, cached_result, store_result
+from repro.exec.jobs import SimulationJob
+
+ENV_JOBS = "REPRO_JOBS"
+
+_default_workers: Optional[int] = None
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Normalize a worker-count request to a concrete positive integer.
+
+    ``None`` falls back to the process-wide default (itself defaulting to
+    ``$REPRO_JOBS`` or 1); ``0`` means "all cores".
+    """
+    if workers is None:
+        workers = _default_workers
+    if workers is None:
+        env = os.environ.get(ENV_JOBS, "")
+        # isdigit() admits 0, which means "all cores" exactly like
+        # --jobs 0; malformed values fall back to serial.
+        workers = int(env) if env.isdigit() else 1
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def set_default_workers(workers: Optional[int]) -> None:
+    """Set the process-wide worker count used when callers pass ``None``."""
+    global _default_workers
+    if workers is not None and workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    _default_workers = workers
+
+
+def get_default_workers() -> int:
+    """The resolved process-wide worker count."""
+    return resolve_workers(None)
+
+
+@dataclass
+class BatchReport:
+    """What :func:`run_jobs` did with one batch (for logging and tests)."""
+
+    submitted: int = 0
+    unique: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    workers_used: int = 1
+
+
+def _execute_job(job: SimulationJob) -> SimulationResult:
+    """Worker-process entry point: simulate, no cache access."""
+    return job.run()
+
+
+def run_jobs(
+    jobs: Iterable[SimulationJob],
+    workers: Optional[int] = None,
+    use_cache: bool = True,
+    report: Optional[BatchReport] = None,
+) -> List[SimulationResult]:
+    """Execute a batch of simulation jobs, returning results in order.
+
+    Duplicate jobs (by canonical key) are simulated once; results are
+    deterministic and independent of the worker count.
+    """
+    ordered = list(jobs)
+    workers = resolve_workers(workers)
+    key_order: List[str] = []
+    unique: Dict[str, SimulationJob] = {}
+    for job in ordered:
+        key = job.cache_key()
+        key_order.append(key)
+        if key not in unique:
+            unique[key] = job
+
+    results: Dict[str, SimulationResult] = {}
+    pending: List[Tuple[str, SimulationJob]] = []
+    for key, job in unique.items():
+        hit = (
+            cached_result(
+                job.profile,
+                job.num_instructions,
+                config=job.config,
+                seed=job.seed,
+                warmup_instructions=job.warmup_instructions,
+            )
+            if use_cache
+            else None
+        )
+        if hit is not None:
+            results[key] = hit
+        else:
+            pending.append((key, job))
+
+    workers_used = 1
+    if pending:
+        fresh = _run_pending(pending, workers)
+        workers_used = min(workers, len(pending)) if workers > 1 else 1
+        for (key, job), result in zip(pending, fresh):
+            results[key] = result
+            if use_cache:
+                store_result(job.profile, result)
+
+    if report is not None:
+        report.submitted = len(ordered)
+        report.unique = len(unique)
+        report.cache_hits = len(unique) - len(pending)
+        report.executed = len(pending)
+        report.workers_used = workers_used
+    return [results[key] for key in key_order]
+
+
+def _run_pending(
+    pending: Sequence[Tuple[str, SimulationJob]], workers: int
+) -> List[SimulationResult]:
+    """Simulate the pending jobs, in order, serially or across processes."""
+    job_list = [job for _, job in pending]
+    if workers <= 1 or len(job_list) == 1:
+        return [job.run() for job in job_list]
+    max_workers = min(workers, len(job_list))
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        # Executor.map preserves submission order, so results line up
+        # with ``pending`` regardless of completion order.
+        return list(pool.map(_execute_job, job_list))

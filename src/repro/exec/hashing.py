@@ -1,0 +1,125 @@
+"""Canonical content hashing for simulation job keys.
+
+A persistent result cache is only sound if its keys capture *everything*
+that determines a simulation's outcome: the workload profile, the machine
+configuration, the window sizing — and the simulator implementation
+itself. This module provides
+
+* :func:`canonical_form` / :func:`canonical_key` — a deterministic,
+  recursive dump of dataclass trees to JSON, hashed with SHA-256, so two
+  structurally-equal configurations always produce the same key;
+* :func:`model_fingerprint` — a digest of the source code of every
+  module that feeds the simulation (the :mod:`repro.cpu` package plus the
+  RNG and interval bookkeeping), folded into every key so cached results
+  are invalidated automatically when the model changes.
+
+This module deliberately imports nothing from :mod:`repro.cpu` so the
+simulator façade can layer the persistent cache underneath its in-process
+memo without an import cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Optional
+
+#: Bump when the on-disk entry format changes incompatibly (e.g. a new
+#: pickle layout); this invalidates every existing cache entry at once.
+CACHE_SCHEMA_VERSION = 1
+
+#: Files whose source determines simulation outcomes, relative to the
+#: ``repro`` package root. ``repro.core`` is deliberately excluded: energy
+#: accounting happens downstream of the cached simulation results.
+_MODEL_SOURCES = ("cpu", "util/rng.py", "util/intervals.py")
+
+_fingerprint_cache: Optional[str] = None
+
+
+def _package_root() -> Path:
+    """The installed ``repro`` package directory."""
+    return Path(__file__).resolve().parent.parent
+
+
+def model_fingerprint() -> str:
+    """SHA-256 over the sources of every simulation-determining module.
+
+    Computed once per process; editing any file under ``repro/cpu`` (or
+    the RNG / interval helpers) changes the fingerprint and therefore
+    every cache key, so stale persistent entries can never be returned
+    for a changed model.
+    """
+    global _fingerprint_cache
+    if _fingerprint_cache is not None:
+        return _fingerprint_cache
+    digest = hashlib.sha256()
+    digest.update(f"schema:{CACHE_SCHEMA_VERSION}".encode())
+    root = _package_root()
+    for entry in _MODEL_SOURCES:
+        path = root / entry
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for source in files:
+            digest.update(str(source.relative_to(root)).encode())
+            digest.update(source.read_bytes())
+    _fingerprint_cache = digest.hexdigest()
+    return _fingerprint_cache
+
+
+def canonical_form(obj: Any) -> Any:
+    """Reduce a dataclass tree to plain JSON-serializable structures.
+
+    Dataclasses are tagged with their class name so two different types
+    with identical fields cannot collide; dict keys are stringified and
+    sorted by the JSON encoder.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        form = {"__class__": type(obj).__qualname__}
+        for field in dataclasses.fields(obj):
+            form[field.name] = canonical_form(getattr(obj, field.name))
+        return form
+    if isinstance(obj, dict):
+        return {str(key): canonical_form(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonical_form(value) for value in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__}: {obj!r}")
+
+
+def canonical_key(payload: Any, *, versioned: bool = True) -> str:
+    """SHA-256 hex key for a payload of dataclasses/primitives.
+
+    With ``versioned`` (the default) the model fingerprint is folded in,
+    which is what every persistent-cache key must use.
+    """
+    document = {"payload": canonical_form(payload)}
+    if versioned:
+        document["model"] = model_fingerprint()
+    encoded = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode()).hexdigest()
+
+
+def simulation_key(
+    profile: Any,
+    num_instructions: int,
+    warmup_instructions: int,
+    seed: int,
+    config: Any,
+) -> str:
+    """The canonical persistent-cache key for one simulation.
+
+    Shared by the simulator façade and the execution engine so both
+    layers address the same cache entries.
+    """
+    return canonical_key(
+        {
+            "kind": "simulation",
+            "profile": profile,
+            "num_instructions": num_instructions,
+            "warmup_instructions": warmup_instructions,
+            "seed": seed,
+            "config": config,
+        }
+    )

@@ -1,0 +1,68 @@
+"""The unit of schedulable work: one fully-specified simulation.
+
+A :class:`SimulationJob` pins down everything that determines a
+simulation's outcome — workload profile, window sizing, seed, and machine
+configuration — and derives the canonical cache key used by both the
+persistent cache and the in-process memo. Jobs are frozen dataclasses, so
+they are hashable, comparable, and picklable (the scheduler ships them to
+worker processes as-is).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.config import MachineConfig
+from repro.cpu.simulator import SimulationResult, Simulator
+from repro.cpu.workloads import WorkloadProfile
+from repro.exec.hashing import simulation_key
+
+
+@dataclass(frozen=True)
+class SimulationJob:
+    """One (profile, window, seed, machine) simulation request."""
+
+    profile: WorkloadProfile
+    num_instructions: int
+    warmup_instructions: int = 0
+    seed: int = 1
+    config: MachineConfig = field(default_factory=MachineConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_instructions < 1:
+            raise ValueError(
+                f"num_instructions must be >= 1, got {self.num_instructions}"
+            )
+        if self.warmup_instructions < 0:
+            raise ValueError(
+                f"warmup_instructions must be >= 0, got {self.warmup_instructions}"
+            )
+
+    @classmethod
+    def from_scale(
+        cls, profile: WorkloadProfile, scale, config: MachineConfig
+    ) -> "SimulationJob":
+        """Build a job from an :class:`~repro.experiments.common.ExperimentScale`."""
+        return cls(
+            profile=profile,
+            num_instructions=scale.window_instructions,
+            warmup_instructions=scale.warmup_instructions,
+            seed=scale.seed,
+            config=config,
+        )
+
+    def cache_key(self) -> str:
+        """Canonical versioned key; identical jobs always collide here."""
+        return simulation_key(
+            self.profile,
+            self.num_instructions,
+            self.warmup_instructions,
+            self.seed,
+            self.config,
+        )
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation directly, bypassing every cache layer."""
+        return Simulator(self.profile, config=self.config, seed=self.seed).run(
+            self.num_instructions, warmup_instructions=self.warmup_instructions
+        )

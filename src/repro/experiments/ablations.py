@@ -45,6 +45,11 @@ from repro.util.tables import format_series, format_table
 
 DEFAULT_ALPHA = 0.5
 
+#: L2 hit latencies swept by :func:`l2_latency` (generalizing Figure 7).
+ABLATION_L2_LATENCIES = (6, 12, 24, 32, 48)
+#: The benchmark whose FU-trimming methodology :func:`fu_count` examines.
+FU_COUNT_BENCHMARK = "mcf"
+
 
 # -- slice count ---------------------------------------------------------------
 
@@ -183,7 +188,7 @@ def fu_count(
     scale: ExperimentScale = DEFAULT_SCALE,
     p: float = 0.05,
     alpha: float = DEFAULT_ALPHA,
-    benchmark: str = "mcf",
+    benchmark: str = FU_COUNT_BENCHMARK,
 ) -> FuCountResult:
     """The paper's mcf example: extra idle FUs inflate the leakage share."""
     params = TechnologyParameters(leakage_factor_p=p)
@@ -276,7 +281,7 @@ class L2LatencyResult:
 
 def l2_latency(
     scale: ExperimentScale = DEFAULT_SCALE,
-    latencies: Sequence[int] = (6, 12, 24, 32, 48),
+    latencies: Sequence[int] = ABLATION_L2_LATENCIES,
     benchmarks: Sequence[str] = (),
 ) -> L2LatencyResult:
     """Sweep the L2 hit latency across the suite."""

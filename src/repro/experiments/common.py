@@ -3,9 +3,11 @@
 The empirical experiments all consume the same simulation outputs: for
 each benchmark, the per-functional-unit active-cycle counts and
 idle-interval histograms at that benchmark's Table 3 FU count.
-:func:`collect_benchmark_data` runs (and caches) those simulations once
-at a given scale; Figures 7, 8, and 9 then share them, exactly as the
-paper derives all three from the same runs.
+:func:`collect_benchmark_data` submits those simulations as one batch
+through the execution engine (:mod:`repro.exec.engine`) — deduplicated,
+cached persistently, and fanned out across cores when ``--jobs`` asks
+for it; Figures 7, 8, and 9 then share them, exactly as the paper
+derives all three from the same runs.
 """
 
 from __future__ import annotations
@@ -17,8 +19,10 @@ from repro.core.accounting import EnergyAccountant, PolicyResult
 from repro.core.parameters import TechnologyParameters
 from repro.core.policies import SleepPolicy
 from repro.cpu.config import MachineConfig
-from repro.cpu.simulator import SimulationResult, simulate_workload
+from repro.cpu.simulator import SimulationResult
 from repro.cpu.workloads import benchmark_names, get_benchmark
+from repro.exec.engine import run_jobs
+from repro.exec.jobs import SimulationJob
 from repro.util.intervals import IntervalHistogram
 
 
@@ -129,7 +133,7 @@ class BenchmarkEnergyData:
                     previous = merged[name]
                     merged[name] = PolicyResult(
                         policy_name=name,
-                        counts=previous.counts,  # counts retained per-FU sum below
+                        counts=previous.counts.plus(result.counts),
                         breakdown=previous.breakdown.plus(result.breakdown),
                         total_cycles=previous.total_cycles + result.total_cycles,
                         baseline_energy=(
@@ -139,33 +143,60 @@ class BenchmarkEnergyData:
         return merged
 
 
+def benchmark_jobs(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    l2_latency: Optional[int] = None,
+    benchmarks: Optional[Iterable[str]] = None,
+    fu_override: Optional[int] = None,
+) -> List[SimulationJob]:
+    """The simulation batch behind :func:`collect_benchmark_data`.
+
+    Exposed separately so the runner can enumerate and prewarm every
+    experiment's jobs as one deduplicated batch.
+    """
+    names = list(benchmarks) if benchmarks is not None else benchmark_names()
+    base_config = MachineConfig()
+    if l2_latency is not None:
+        base_config = base_config.with_l2_latency(l2_latency)
+    jobs = []
+    for name in names:
+        profile = get_benchmark(name)
+        num_fus = fu_override if fu_override is not None else profile.reference_fus
+        jobs.append(
+            SimulationJob.from_scale(
+                profile, scale, base_config.with_int_fus(num_fus)
+            )
+        )
+    return jobs
+
+
 def collect_benchmark_data(
     scale: ExperimentScale = DEFAULT_SCALE,
     l2_latency: Optional[int] = None,
     benchmarks: Optional[Iterable[str]] = None,
     fu_override: Optional[int] = None,
+    jobs: Optional[int] = None,
+    use_cache: bool = True,
 ) -> List[BenchmarkEnergyData]:
     """Simulate the suite at each benchmark's Table 3 FU count.
 
     ``l2_latency`` switches the L2 hit latency (Figure 7 uses 12 and 32);
     ``fu_override`` forces a fixed FU count (the FU-count ablation).
-    Results are memoized by the simulator layer.
+    The batch goes through the execution engine: results come from the
+    in-process memo or the persistent cache when available, and pending
+    simulations fan out across ``jobs`` worker processes (defaulting to
+    the process-wide ``--jobs`` setting).
     """
-    names = list(benchmarks) if benchmarks is not None else benchmark_names()
-    data = []
-    base_config = MachineConfig()
-    if l2_latency is not None:
-        base_config = base_config.with_l2_latency(l2_latency)
-    for name in names:
-        profile = get_benchmark(name)
-        num_fus = fu_override if fu_override is not None else profile.reference_fus
-        config = base_config.with_int_fus(num_fus)
-        result = simulate_workload(
-            profile,
-            scale.window_instructions,
-            config=config,
-            seed=scale.seed,
-            warmup_instructions=scale.warmup_instructions,
+    batch = benchmark_jobs(
+        scale=scale,
+        l2_latency=l2_latency,
+        benchmarks=benchmarks,
+        fu_override=fu_override,
+    )
+    results = run_jobs(batch, workers=jobs, use_cache=use_cache)
+    return [
+        BenchmarkEnergyData(
+            name=job.profile.name, num_fus=job.config.num_int_fus, result=result
         )
-        data.append(BenchmarkEnergyData(name=name, num_fus=num_fus, result=result))
-    return data
+        for job, result in zip(batch, results)
+    ]

@@ -2,8 +2,18 @@
 
 Usage::
 
-    python -m repro.experiments.runner            # full scale
-    python -m repro.experiments.runner --quick    # reduced windows
+    python -m repro.experiments.runner                 # full scale, serial
+    python -m repro.experiments.runner --quick         # reduced windows
+    python -m repro.experiments.runner --jobs 4        # fan out across cores
+    python -m repro.experiments.runner --no-cache      # ignore the disk cache
+
+Before rendering, the runner enumerates every simulation any experiment
+will need at the requested scale and submits them to the execution
+engine as one deduplicated batch (:func:`enumerate_jobs`). With
+``--jobs N`` that batch fans out across N worker processes; either way
+the rendering pass then runs entirely against warm caches, so stdout is
+byte-identical regardless of the worker count (progress and timing go to
+stderr).
 """
 
 from __future__ import annotations
@@ -11,11 +21,24 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
+from repro.exec import cache as result_cache
+from repro.exec.engine import (
+    BatchReport,
+    resolve_workers,
+    run_jobs,
+    set_default_workers,
+)
+from repro.exec.jobs import SimulationJob
 from repro.experiments import ablations, figure3, figure4, figure5, figure7
 from repro.experiments import figure8, figure9, table1, table3
-from repro.experiments.common import DEFAULT_SCALE, QUICK_SCALE, ExperimentScale
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    QUICK_SCALE,
+    ExperimentScale,
+    benchmark_jobs,
+)
 
 
 def _experiments(scale: ExperimentScale) -> List[Tuple[str, Callable[[], str]]]:
@@ -32,27 +55,128 @@ def _experiments(scale: ExperimentScale) -> List[Tuple[str, Callable[[], str]]]:
     ]
 
 
-def run_all(scale: ExperimentScale = DEFAULT_SCALE, stream=None) -> None:
-    """Execute every experiment, printing each result as it completes."""
+def enumerate_jobs(scale: ExperimentScale) -> List[SimulationJob]:
+    """Every simulation the full experiment suite needs at ``scale``.
+
+    Overlapping batches (Figure 7's 12-cycle-L2 run equals the default
+    configuration Figures 8/9 use) are submitted as-is; the engine
+    deduplicates them by canonical key.
+    """
+    jobs: List[SimulationJob] = []
+    # Table 3: the (benchmark x FU count) sweep.
+    jobs.extend(table3.sweep_jobs(scale=scale))
+    # Figures 8/9 and most ablations: the suite at reference FU counts.
+    jobs.extend(benchmark_jobs(scale=scale))
+    # Figure 7 and the L2-latency ablation: L2 hit-latency variants.
+    latencies = set(figure7.L2_LATENCIES) | set(ablations.ABLATION_L2_LATENCIES)
+    for latency in sorted(latencies):
+        jobs.extend(benchmark_jobs(scale=scale, l2_latency=latency))
+    # The FU-count ablation's always-4-FUs counterpoint.
+    jobs.extend(
+        benchmark_jobs(
+            scale=scale, benchmarks=[ablations.FU_COUNT_BENCHMARK], fu_override=4
+        )
+    )
+    return jobs
+
+
+def prewarm(
+    scale: ExperimentScale, jobs: Optional[int] = None, use_cache: bool = True
+) -> BatchReport:
+    """Run the full simulation batch up front, reporting what happened."""
+    report = BatchReport()
+    run_jobs(enumerate_jobs(scale), workers=jobs, use_cache=use_cache, report=report)
+    return report
+
+
+def run_all(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    stream=None,
+    jobs: Optional[int] = None,
+) -> None:
+    """Execute every experiment, printing each result as it completes.
+
+    Results go to ``stream`` (stdout by default); progress and timing go
+    to stderr so the rendered output is deterministic. Whether results
+    persist across runs is governed by the process-wide cache
+    configuration (``--no-cache`` / :func:`repro.exec.cache.configure`);
+    the in-process memo always applies.
+    """
     out = stream if stream is not None else sys.stdout
-    for name, runner in _experiments(scale):
+    if resolve_workers(jobs) > 1:
+        # Parallelism only helps if the whole batch is submitted at once;
+        # serially, the render pass fills the caches on demand instead.
         start = time.time()
+        report = prewarm(scale, jobs=jobs)
+        print(
+            f"[repro] simulations: {report.unique} unique "
+            f"({report.cache_hits} cached, {report.executed} run on "
+            f"{report.workers_used} worker{'s' if report.workers_used != 1 else ''}) "
+            f"in {time.time() - start:.1f}s",
+            file=sys.stderr,
+        )
+    for name, runner in _experiments(scale):
+        started = time.time()
         text = runner()
-        elapsed = time.time() - start
-        print(f"\n{'=' * 72}\n{name}  ({elapsed:.1f}s)\n{'=' * 72}", file=out)
+        print(f"[repro] {name} rendered in {time.time() - started:.1f}s",
+              file=sys.stderr)
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}", file=out)
         print(text, file=out)
 
 
-def main() -> None:  # pragma: no cover - CLI convenience
+def _jobs_count(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = all cores), got {value}"
+        )
+    return value
+
+
+def add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """The execution-engine flags shared by this runner and the main CLI."""
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_count,
+        default=None,
+        metavar="N",
+        help="worker processes for simulation batches (0 = all cores; "
+        "default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent result-cache directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache for this run",
+    )
+
+
+def apply_execution_arguments(args: argparse.Namespace) -> None:
+    """Configure the process-wide engine state from parsed CLI flags."""
+    result_cache.configure(cache_dir=args.cache_dir, enabled=not args.no_cache)
+    if args.jobs is not None:
+        set_default_workers(resolve_workers(args.jobs))
+
+
+def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--quick",
         action="store_true",
         help="reduced simulation windows (for smoke testing)",
     )
-    args = parser.parse_args()
-    run_all(QUICK_SCALE if args.quick else DEFAULT_SCALE)
+    add_execution_arguments(parser)
+    args = parser.parse_args(argv)
+    apply_execution_arguments(args)
+    run_all(QUICK_SCALE if args.quick else DEFAULT_SCALE, jobs=args.jobs)
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    sys.exit(main())

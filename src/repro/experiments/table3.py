@@ -9,11 +9,12 @@ reports measured values next to the paper's.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.cpu.config import MachineConfig
-from repro.cpu.simulator import simulate_workload
 from repro.cpu.workloads import WorkloadProfile, benchmark_names, get_benchmark
+from repro.exec.engine import run_jobs
+from repro.exec.jobs import SimulationJob
 from repro.experiments.common import DEFAULT_SCALE, ExperimentScale
 from repro.util.tables import format_table
 
@@ -61,27 +62,44 @@ def select_fu_count(ipc_by_fus: Dict[int, float], threshold: float = PEAK_FRACTI
     return max(ipc_by_fus)
 
 
+def sweep_jobs(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    benchmarks: Sequence[str] = (),
+    fu_range: Sequence[int] = FU_RANGE,
+) -> List[SimulationJob]:
+    """The (benchmark x FU count) simulation batch behind :func:`run`."""
+    names = list(benchmarks) if benchmarks else benchmark_names()
+    base = MachineConfig()
+    return [
+        SimulationJob.from_scale(get_benchmark(name), scale, base.with_int_fus(count))
+        for name in names
+        for count in fu_range
+    ]
+
+
 def run(
     scale: ExperimentScale = DEFAULT_SCALE,
     benchmarks: Sequence[str] = (),
     fu_range: Sequence[int] = FU_RANGE,
+    jobs: Optional[int] = None,
 ) -> Table3Result:
-    """Sweep FU counts for every benchmark and apply the 95% rule."""
+    """Sweep FU counts for every benchmark and apply the 95% rule.
+
+    The full sweep — the largest batch in the repo, 4 FU counts per
+    benchmark — is submitted to the execution engine at once, so it
+    deduplicates against other experiments and parallelizes cleanly.
+    """
     names = list(benchmarks) if benchmarks else benchmark_names()
-    base = MachineConfig()
+    batch = sweep_jobs(scale=scale, benchmarks=names, fu_range=fu_range)
+    results = run_jobs(batch, workers=jobs)
+    ipc_by_job = {
+        (job.profile.name, job.config.num_int_fus): result.stats.ipc
+        for job, result in zip(batch, results)
+    }
     selections = []
     for name in names:
         profile = get_benchmark(name)
-        ipc_by_fus = {}
-        for count in fu_range:
-            result = simulate_workload(
-                profile,
-                scale.window_instructions,
-                config=base.with_int_fus(count),
-                seed=scale.seed,
-                warmup_instructions=scale.warmup_instructions,
-            )
-            ipc_by_fus[count] = result.stats.ipc
+        ipc_by_fus = {count: ipc_by_job[(name, count)] for count in fu_range}
         selections.append(
             BenchmarkSelection(
                 profile=profile,

@@ -13,6 +13,37 @@ from repro.core.parameters import TechnologyParameters
 from repro.cpu.config import MachineConfig
 from repro.cpu.simulator import simulate_workload
 from repro.cpu.workloads import get_benchmark
+from repro.exec import cache as result_cache
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Point the persistent result cache at a throwaway directory.
+
+    Keeps the unit-test suite hermetic: no reads from (or writes to) the
+    user's ``~/.cache/repro``, and no cross-run coupling between test
+    sessions. The redirect is applied at the environment level so even
+    code that calls ``configure(cache_dir=None)`` mid-session (the CLI's
+    default path) stays inside the throwaway directory.
+    """
+    directory = tmp_path_factory.mktemp("result-cache")
+    patcher = pytest.MonkeyPatch()
+    patcher.setenv(result_cache.ENV_CACHE_DIR, str(directory))
+    result_cache.configure(cache_dir=directory)
+    yield
+    patcher.undo()
+
+
+@pytest.fixture
+def preserve_cache_config():
+    """Snapshot/restore the process-wide persistent-cache configuration.
+
+    For tests that call ``repro.exec.cache.configure`` (directly or via
+    CLI flags) so they cannot leak cache state into later tests.
+    """
+    previous = result_cache.snapshot()
+    yield
+    result_cache.restore(previous)
 
 
 @pytest.fixture(scope="session")

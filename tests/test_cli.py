@@ -3,6 +3,16 @@
 import pytest
 
 from repro import cli
+from repro.exec import cache
+from repro.exec.engine import set_default_workers
+
+
+@pytest.fixture
+def restore_engine_state(preserve_cache_config):
+    """Restore the cache and worker configuration ``main`` mutates
+    through the execution flags."""
+    yield
+    set_default_workers(None)
 
 
 class TestParser:
@@ -19,6 +29,20 @@ class TestParser:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             cli.build_parser().parse_args(["figure99"])
+
+    def test_execution_flag_defaults(self):
+        args = cli.build_parser().parse_args(["table3"])
+        assert args.jobs is None
+        assert args.cache_dir is None
+        assert not args.no_cache
+
+    def test_execution_flags_parse(self):
+        args = cli.build_parser().parse_args(
+            ["table3", "--jobs", "4", "--cache-dir", "/tmp/x", "--no-cache"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/x"
+        assert args.no_cache
 
 
 class TestMain:
@@ -37,3 +61,27 @@ class TestMain:
         assert cli.main(["figure7", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "Figure 7" in out
+
+    def test_jobs_flag_runs_parallel(self, capsys, restore_engine_state, tmp_path):
+        from repro.cpu.simulator import clear_simulation_cache
+
+        clear_simulation_cache()  # force real simulation so results persist
+        assert (
+            cli.main(
+                ["figure7", "--quick", "--jobs", "2",
+                 "--cache-dir", str(tmp_path / "cache")]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert cache.active().directory == tmp_path / "cache"
+        assert len(cache.active()) > 0  # results persisted
+
+    def test_no_cache_flag_disables_persistence(
+        self, capsys, restore_engine_state
+    ):
+        assert cli.main(["figure8", "--quick", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "p=0.05" in out
+        assert cache.active() is None

@@ -38,6 +38,15 @@ class TestCycleCounts:
         with pytest.raises(ValueError):
             counts.scaled(-1.0)
 
+    def test_plus_is_componentwise(self):
+        a = CycleCounts(active=10, uncontrolled_idle=5, sleep=4, transitions=2)
+        b = CycleCounts(active=1, uncontrolled_idle=2, sleep=3, transitions=1)
+        total = a.plus(b)
+        assert total.active == 11
+        assert total.uncontrolled_idle == 7
+        assert total.sleep == 7
+        assert total.transitions == 3
+
 
 class TestRelativeEnergy:
     def test_pure_active(self, params):

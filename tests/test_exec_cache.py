@@ -1,0 +1,135 @@
+"""Tests for the persistent result cache and its canonical keys."""
+
+import pickle
+
+import pytest
+
+from repro.cpu.config import MachineConfig
+from repro.cpu.workloads import get_benchmark
+from repro.exec import cache, hashing
+from repro.exec.cache import ResultCache
+from repro.exec.hashing import canonical_form, canonical_key, simulation_key
+
+
+class TestCanonicalHashing:
+    def test_same_inputs_same_key(self):
+        profile = get_benchmark("gzip")
+        config = MachineConfig()
+        a = simulation_key(profile, 2000, 500, 1, config)
+        b = simulation_key(profile, 2000, 500, 1, MachineConfig())
+        assert a == b
+        assert len(a) == 64
+
+    def test_every_parameter_is_significant(self):
+        profile = get_benchmark("gzip")
+        config = MachineConfig()
+        base = simulation_key(profile, 2000, 500, 1, config)
+        assert simulation_key(profile, 2001, 500, 1, config) != base
+        assert simulation_key(profile, 2000, 501, 1, config) != base
+        assert simulation_key(profile, 2000, 500, 2, config) != base
+        assert (
+            simulation_key(profile, 2000, 500, 1, config.with_int_fus(2)) != base
+        )
+        assert (
+            simulation_key(
+                get_benchmark("mcf"), 2000, 500, 1, config
+            )
+            != base
+        )
+
+    def test_nested_config_fields_reach_the_key(self):
+        profile = get_benchmark("gzip")
+        config = MachineConfig()
+        assert simulation_key(
+            profile, 2000, 500, 1, config.with_l2_latency(32)
+        ) != simulation_key(profile, 2000, 500, 1, config)
+
+    def test_canonical_form_tags_dataclass_types(self):
+        form = canonical_form(MachineConfig())
+        assert form["__class__"] == "MachineConfig"
+        assert form["l2_cache"]["__class__"] == "CacheConfig"
+
+    def test_canonical_form_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            canonical_form(object())
+
+    def test_model_version_invalidates_keys(self, monkeypatch):
+        """Changing the model fingerprint must change every key, so stale
+        persistent entries are never looked up after a model edit."""
+        profile = get_benchmark("gzip")
+        config = MachineConfig()
+        before = simulation_key(profile, 2000, 500, 1, config)
+        monkeypatch.setattr(
+            hashing, "model_fingerprint", lambda: "different-model-version"
+        )
+        after = simulation_key(profile, 2000, 500, 1, config)
+        assert before != after
+
+    def test_unversioned_keys_ignore_the_model(self, monkeypatch):
+        before = canonical_key({"x": 1}, versioned=False)
+        monkeypatch.setattr(hashing, "model_fingerprint", lambda: "changed")
+        assert canonical_key({"x": 1}, versioned=False) == before
+
+
+class TestResultCache:
+    KEY = "ab" + "0" * 62
+
+    def test_miss_then_hit(self, tmp_path):
+        store = ResultCache(tmp_path)
+        assert store.get(self.KEY) is None
+        store.put(self.KEY, {"value": 42})
+        assert store.get(self.KEY) == {"value": 42}
+        assert (store.hits, store.misses, store.writes) == (1, 1, 1)
+
+    def test_entries_survive_reopening(self, tmp_path):
+        ResultCache(tmp_path).put(self.KEY, [1, 2, 3])
+        assert ResultCache(tmp_path).get(self.KEY) == [1, 2, 3]
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        store = ResultCache(tmp_path)
+        store.put(self.KEY, "good")
+        path = store._path(self.KEY)
+        path.write_bytes(b"\x80not a pickle")
+        assert store.get(self.KEY) is None
+        assert not path.exists()
+
+    def test_len_and_clear(self, tmp_path):
+        store = ResultCache(tmp_path)
+        store.put("aa" + "0" * 62, 1)
+        store.put("bb" + "0" * 62, 2)
+        assert len(store) == 2
+        assert store.clear() == 2
+        assert len(store) == 0
+
+    def test_rejects_non_hex_keys(self, tmp_path):
+        store = ResultCache(tmp_path)
+        with pytest.raises(ValueError):
+            store.get("../../escape")
+
+    def test_values_roundtrip_pickle_exactly(self, tmp_path, small_gzip_run):
+        store = ResultCache(tmp_path)
+        store.put(self.KEY, small_gzip_run)
+        loaded = store.get(self.KEY)
+        assert loaded is not small_gzip_run
+        assert pickle.dumps(loaded) == pickle.dumps(small_gzip_run)
+
+
+class TestActiveCacheConfiguration:
+    def test_configure_directory(self, tmp_path, preserve_cache_config):
+        store = cache.configure(cache_dir=tmp_path / "store")
+        assert store is cache.active()
+        assert store.directory == tmp_path / "store"
+
+    def test_disable(self, preserve_cache_config):
+        assert cache.configure(enabled=False) is None
+        assert cache.active() is None
+
+    def test_env_kill_switch(self, tmp_path, preserve_cache_config, monkeypatch):
+        monkeypatch.setenv(cache.ENV_NO_CACHE, "1")
+        assert cache.configure(cache_dir=tmp_path) is None
+
+    def test_env_cache_dir(self, tmp_path, preserve_cache_config, monkeypatch):
+        monkeypatch.setenv(cache.ENV_CACHE_DIR, str(tmp_path / "env-cache"))
+        assert cache.default_cache_dir() == tmp_path / "env-cache"
+        store = cache.configure()
+        assert store.directory == tmp_path / "env-cache"

@@ -1,0 +1,220 @@
+"""Tests for the batch execution engine and its cache layering."""
+
+import pickle
+
+import pytest
+
+from repro.cpu.config import MachineConfig
+from repro.cpu.simulator import (
+    cached_result,
+    clear_simulation_cache,
+    simulate_workload,
+)
+from repro.cpu.workloads import get_benchmark
+from repro.exec import cache
+from repro.exec.engine import (
+    BatchReport,
+    resolve_workers,
+    run_jobs,
+    set_default_workers,
+)
+from repro.exec.jobs import SimulationJob
+from repro.experiments.common import QUICK_SCALE, collect_benchmark_data
+
+
+@pytest.fixture
+def fresh_cache(tmp_path, preserve_cache_config):
+    """An empty persistent cache and memo; restores the previous config."""
+    store = cache.configure(cache_dir=tmp_path / "exec-cache")
+    clear_simulation_cache()
+    yield store
+    clear_simulation_cache()
+
+
+def _job(name="gzip", instructions=1500, warmup=500, seed=1, config=None):
+    return SimulationJob(
+        profile=get_benchmark(name),
+        num_instructions=instructions,
+        warmup_instructions=warmup,
+        seed=seed,
+        config=config or MachineConfig(),
+    )
+
+
+class TestSimulationJob:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _job(instructions=0)
+        with pytest.raises(ValueError):
+            _job(warmup=-1)
+
+    def test_from_scale(self):
+        job = SimulationJob.from_scale(
+            get_benchmark("mcf"), QUICK_SCALE, MachineConfig().with_int_fus(2)
+        )
+        assert job.num_instructions == QUICK_SCALE.window_instructions
+        assert job.warmup_instructions == QUICK_SCALE.warmup_instructions
+        assert job.seed == QUICK_SCALE.seed
+        assert job.config.num_int_fus == 2
+
+    def test_identical_jobs_share_a_key(self):
+        assert _job().cache_key() == _job().cache_key()
+        assert _job().cache_key() != _job(seed=2).cache_key()
+
+    def test_run_matches_simulate_workload(self, fresh_cache):
+        job = _job()
+        direct = job.run()
+        cached = simulate_workload(
+            job.profile,
+            job.num_instructions,
+            config=job.config,
+            seed=job.seed,
+            warmup_instructions=job.warmup_instructions,
+        )
+        assert direct.stats.total_cycles == cached.stats.total_cycles
+        assert direct.stats.ipc == cached.stats.ipc
+
+
+class TestRunJobs:
+    def test_deduplicates_and_orders(self, fresh_cache):
+        a, b = _job("gzip"), _job("mst")
+        report = BatchReport()
+        results = run_jobs([a, b, a], report=report)
+        assert report.submitted == 3
+        assert report.unique == 2
+        assert report.executed == 2
+        assert results[0] is results[2]
+        assert results[0].workload_name == "gzip"
+        assert results[1].workload_name == "mst"
+
+    def test_second_batch_hits_the_memo(self, fresh_cache):
+        job = _job()
+        run_jobs([job])
+        report = BatchReport()
+        run_jobs([job], report=report)
+        assert report.cache_hits == 1
+        assert report.executed == 0
+
+    def test_warm_persistent_cache_survives_memo_clear(self, fresh_cache):
+        job = _job()
+        first = run_jobs([job])[0]
+        clear_simulation_cache()
+        report = BatchReport()
+        second = run_jobs([job], report=report)[0]
+        assert report.cache_hits == 1 and report.executed == 0
+        assert second is not first
+        assert pickle.dumps(second) == pickle.dumps(first)
+
+    def test_use_cache_false_resimulates(self, fresh_cache):
+        job = _job()
+        first = run_jobs([job])[0]
+        report = BatchReport()
+        second = run_jobs([job], use_cache=False, report=report)[0]
+        assert report.executed == 1
+        assert second is not first
+
+    def test_parallel_equals_serial(self, fresh_cache):
+        jobs = [_job(name) for name in ("gzip", "mcf", "mst")]
+        parallel = run_jobs(jobs, workers=3)
+        serial = [job.run() for job in jobs]
+        for par, ser in zip(parallel, serial):
+            assert pickle.dumps(par) == pickle.dumps(ser)
+
+    def test_results_land_in_both_cache_layers(self, fresh_cache):
+        job = _job()
+        run_jobs([job], workers=2)
+        assert (
+            cached_result(
+                job.profile,
+                job.num_instructions,
+                config=job.config,
+                seed=job.seed,
+                warmup_instructions=job.warmup_instructions,
+            )
+            is not None
+        )
+        assert len(fresh_cache) == 1
+
+
+class TestWorkerResolution:
+    def test_explicit_and_default(self):
+        assert resolve_workers(3) == 3
+        set_default_workers(2)
+        try:
+            assert resolve_workers(None) == 2
+        finally:
+            set_default_workers(None)
+        assert resolve_workers(None) == 1
+
+    def test_zero_means_all_cores(self):
+        assert resolve_workers(0) >= 1
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_workers(None) == 5
+
+    def test_env_zero_means_all_cores(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert resolve_workers(None) == resolve_workers(0) >= 1
+
+    def test_env_malformed_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "-2")
+        assert resolve_workers(None) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+
+class TestCollectBenchmarkDataParallel:
+    def test_full_batch_parallel_equals_serial(self, fresh_cache):
+        """The acceptance bar: a full collect_benchmark_data batch is
+        bit-for-bit identical whether run serially or fanned out."""
+        serial = collect_benchmark_data(scale=QUICK_SCALE, use_cache=False)
+        fresh_cache.clear()
+        clear_simulation_cache()
+        parallel = collect_benchmark_data(scale=QUICK_SCALE, jobs=4)
+        assert len(serial) == len(parallel) == 9
+        for ser, par in zip(serial, parallel):
+            assert ser.name == par.name
+            assert ser.num_fus == par.num_fus
+            assert pickle.dumps(ser.result) == pickle.dumps(par.result)
+
+    def test_table3_ipc_identical_across_workers(self, fresh_cache):
+        from repro.experiments import table3
+
+        subset = ("gzip", "mcf")
+        serial = table3.run(scale=QUICK_SCALE, benchmarks=subset, jobs=1)
+        fresh_cache.clear()
+        clear_simulation_cache()
+        parallel = table3.run(scale=QUICK_SCALE, benchmarks=subset, jobs=2)
+        for ser, par in zip(serial.selections, parallel.selections):
+            assert ser.ipc_by_fus == par.ipc_by_fus
+            assert ser.selected_fus == par.selected_fus
+
+
+class TestSimulatorCacheLayering:
+    def test_persistent_layer_under_the_memo(self, fresh_cache):
+        profile = get_benchmark("gzip")
+        first = simulate_workload(profile, 1500, warmup_instructions=400)
+        assert simulate_workload(profile, 1500, warmup_instructions=400) is first
+        clear_simulation_cache()
+        reloaded = simulate_workload(profile, 1500, warmup_instructions=400)
+        assert reloaded is not first
+        assert pickle.dumps(reloaded) == pickle.dumps(first)
+        # ... and the disk hit is promoted back into the memo.
+        assert simulate_workload(profile, 1500, warmup_instructions=400) is reloaded
+
+    def test_use_cache_false_bypasses_both_layers(self, fresh_cache):
+        profile = get_benchmark("gzip")
+        a = simulate_workload(profile, 1500, use_cache=False)
+        assert len(fresh_cache) == 0
+        b = simulate_workload(profile, 1500, use_cache=False)
+        assert a is not b
+
+    def test_disabled_cache_still_memoizes(self, fresh_cache):
+        cache.configure(enabled=False)
+        clear_simulation_cache()
+        profile = get_benchmark("gzip")
+        a = simulate_workload(profile, 1500)
+        assert simulate_workload(profile, 1500) is a

@@ -39,6 +39,27 @@ class TestCollectBenchmarkData:
         assert len(energies) == 4
         assert all(0 < e < 1.5 for e in energies.values())
 
+    def test_breakdown_counts_sum_across_fus(self):
+        """Merged PolicyResult.counts must cover every FU, not just the
+        first: the per-policy cycle totals have to account for
+        num_fus * total_cycles."""
+        from repro.core.parameters import TechnologyParameters
+        from repro.core.policies import AlwaysActivePolicy
+
+        data = collect_benchmark_data(scale=QUICK_SCALE, benchmarks=("gzip",))[0]
+        assert data.num_fus > 1
+        params = TechnologyParameters(leakage_factor_p=0.5)
+        merged = data.evaluate_policy_breakdowns(
+            params, 0.5, [AlwaysActivePolicy()]
+        )["AlwaysActive"]
+        expected_cycles = data.num_fus * data.total_cycles
+        assert merged.counts.total_cycles == pytest.approx(expected_cycles)
+        assert merged.total_cycles == pytest.approx(expected_cycles)
+        # AlwaysActive never sleeps: active + uncontrolled idle covers all.
+        assert merged.counts.active == pytest.approx(
+            sum(data.per_fu_active_cycles())
+        )
+
 
 class TestFigure7Experiment:
     @pytest.fixture(scope="class")

@@ -6,8 +6,6 @@ live in the Table 3 bench): if a profile edit silently turns mcf into a
 compute-bound program, these fail.
 """
 
-import pytest
-
 from repro.cpu.config import MachineConfig
 from repro.cpu.simulator import simulate_workload
 from repro.cpu.workloads import get_benchmark
