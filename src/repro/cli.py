@@ -1,7 +1,9 @@
 """Command-line interface: ``python -m repro.cli <experiment> [--quick]``.
 
 Lists and runs the paper's experiments by name. ``all`` runs the full
-set (equivalent to ``python -m repro.experiments.runner``).
+set (equivalent to ``python -m repro.experiments.runner``); ``sweep``
+evaluates a policy grid (``--p-grid`` x ``--alpha-grid`` x
+``--policies``) over the benchmark suite with the vectorized engine.
 
 Execution-engine flags apply to every experiment: ``--jobs N`` fans
 simulation batches out across N worker processes, ``--cache-dir`` points
@@ -25,6 +27,7 @@ from repro.experiments import (
     figure8,
     figure9,
     runner,
+    sweep,
     table1,
     table3,
 )
@@ -56,16 +59,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_registry(DEFAULT_SCALE)) + ["all", "list"],
-        help="experiment to run, 'all' for everything, 'list' to enumerate",
+        choices=sorted(_registry(DEFAULT_SCALE)) + ["sweep", "all", "list"],
+        help="experiment to run, 'sweep' for a policy-grid sweep, "
+        "'all' for everything, 'list' to enumerate",
     )
     parser.add_argument(
         "--quick",
         action="store_true",
         help="reduced simulation windows (smoke-test scale)",
     )
+    group = parser.add_argument_group("sweep options (sweep only)")
+    group.add_argument(
+        "--p-grid",
+        default=sweep.DEFAULT_P_SPEC,
+        metavar="SPEC",
+        help="technology (leakage factor) grid: 'lo:hi:n' for n evenly "
+        "spaced points, or a comma list like '0.05,0.5' (default: %(default)s)",
+    )
+    group.add_argument(
+        "--alpha-grid",
+        default=sweep.DEFAULT_ALPHA_SPEC,
+        metavar="SPEC",
+        help="activity-factor grid, same syntax (default: %(default)s)",
+    )
+    group.add_argument(
+        "--policies",
+        default=",".join(sweep.DEFAULT_POLICIES),
+        metavar="NAMES",
+        help="comma list of policies from: "
+        + ", ".join(sorted(sweep.POLICY_FACTORIES))
+        + " (default: %(default)s)",
+    )
+    group.add_argument(
+        "--benchmarks",
+        default="",
+        metavar="NAMES",
+        help="comma list of benchmarks (default: the full nine-benchmark suite)",
+    )
     runner.add_execution_arguments(parser)
     return parser
+
+
+def _run_sweep(args: argparse.Namespace, scale: ExperimentScale) -> str:
+    grid = sweep.SweepGrid(
+        p_values=sweep.parse_grid(args.p_grid),
+        alphas=sweep.parse_grid(args.alpha_grid),
+        policies=tuple(
+            name.strip() for name in args.policies.split(",") if name.strip()
+        ),
+    )
+    benchmarks = tuple(
+        name.strip() for name in args.benchmarks.split(",") if name.strip()
+    )
+    result = sweep.run(
+        scale=scale, grid=grid, benchmarks=benchmarks, jobs=args.jobs
+    )
+    return sweep.render(result)
 
 
 def main(argv=None) -> int:
@@ -73,12 +122,15 @@ def main(argv=None) -> int:
     scale = QUICK_SCALE if args.quick else DEFAULT_SCALE
     registry = _registry(scale)
     if args.experiment == "list":
-        for name in sorted(registry):
+        for name in sorted(registry) + ["sweep"]:
             print(name)
         return 0
     runner.apply_execution_arguments(args)
     if args.experiment == "all":
         runner.run_all(scale, jobs=args.jobs)
+        return 0
+    if args.experiment == "sweep":
+        print(_run_sweep(args, scale))
         return 0
     print(registry[args.experiment]())
     return 0

@@ -13,6 +13,8 @@ Layout:
 * :mod:`repro.core.policies` — event-driven sleep controllers,
 * :mod:`repro.core.accounting` — interval-histogram energy accounting used
   by the empirical study (Figures 8-9),
+* :mod:`repro.core.vectorized` — the array-backed (NumPy) histogram
+  engine behind sweep grids, float-for-float equal to the scalar path,
 * :mod:`repro.core.activity` — activity factors estimated from operand
   values (the Brooks & Martonosi link in Section 4),
 * :mod:`repro.core.datapath` — the byte-sliced GradualSleep extension the
@@ -51,6 +53,7 @@ from repro.core.policies import (
     run_policy_on_intervals,
 )
 from repro.core.accounting import EnergyAccountant, PolicyResult
+from repro.core.vectorized import HistogramBatch, exact_weighted_sum
 from repro.core.activity import (
     OperandValueModel,
     estimate_alpha_from_values,
@@ -69,6 +72,8 @@ __all__ = [
     "EnergyBreakdown",
     "GradualSleepDesign",
     "GradualSleepPolicy",
+    "HistogramBatch",
+    "exact_weighted_sum",
     "MODEL_DEFAULTS",
     "MaxSleepPolicy",
     "NoOverheadPolicy",

@@ -5,19 +5,23 @@ active-cycle count plus an :class:`~repro.util.intervals.IntervalHistogram`
 of its idle intervals. For the stateless policies this is lossless: the
 outcome of an interval depends only on its length, so energy can be
 accumulated per (length, count) pair — far cheaper than replaying millions
-of cycles. Stateful policies (the predictive extensions) are evaluated on
-ordered interval sequences via
+of cycles. The ``vectorized`` switch routes that accumulation through the
+array-backed engine in :mod:`repro.core.vectorized`, which is
+float-for-float identical to the scalar loop while amortizing sweep-grid
+evaluations. Stateful policies (the predictive extensions) are evaluated
+on ordered interval sequences via
 :func:`repro.core.policies.run_policy_on_intervals`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence, Union
 
 from repro.core.energy_model import CycleCounts, EnergyBreakdown, relative_energy
 from repro.core.parameters import TechnologyParameters, check_alpha
 from repro.core.policies import SleepPolicy, run_policy_on_intervals
+from repro.core.vectorized import HistogramBatch
 from repro.util.intervals import IntervalHistogram
 
 
@@ -65,31 +69,44 @@ class EnergyAccountant:
         self,
         policy: SleepPolicy,
         active_cycles: float,
-        histogram: IntervalHistogram,
+        histogram: Union[IntervalHistogram, HistogramBatch],
+        vectorized: bool = False,
     ) -> PolicyResult:
-        """Account a stateless policy against an interval histogram."""
+        """Account a stateless policy against an interval histogram.
+
+        With ``vectorized=True`` (implied when ``histogram`` is already a
+        :class:`HistogramBatch`) the per-(length, count) accumulation runs
+        through the array-backed engine — exactly equal, float for float,
+        to the scalar loop, with per-policy totals memoized on the batch.
+        """
         if not policy.stateless:
             raise ValueError(
                 f"policy {policy.name!r} is stateful; use evaluate_sequence"
             )
         if active_cycles < 0:
             raise ValueError(f"active cycles must be >= 0, got {active_cycles}")
-        policy.reset()
-        uncontrolled = 0.0
-        sleep = 0.0
-        transitions = 0.0
-        for length, count in histogram:
-            outcome = policy.on_interval(length)
-            uncontrolled += outcome.uncontrolled_idle * count
-            sleep += outcome.sleep * count
-            transitions += outcome.transitions * count
+        if vectorized or isinstance(histogram, HistogramBatch):
+            batch = HistogramBatch.wrap(histogram)
+            uncontrolled, sleep, transitions = batch.outcome_totals(policy)
+            idle_cycles = batch.total_idle_cycles
+        else:
+            policy.reset()
+            uncontrolled = 0.0
+            sleep = 0.0
+            transitions = 0.0
+            for length, count in histogram:
+                outcome = policy.on_interval(length)
+                uncontrolled += outcome.uncontrolled_idle * count
+                sleep += outcome.sleep * count
+                transitions += outcome.transitions * count
+            idle_cycles = histogram.total_idle_cycles
         counts = CycleCounts(
             active=active_cycles,
             uncontrolled_idle=uncontrolled,
             sleep=sleep,
             transitions=transitions,
         )
-        return self._finish(policy.name, counts, histogram.total_idle_cycles)
+        return self._finish(policy.name, counts, idle_cycles)
 
     def evaluate_sequence(
         self,
@@ -108,14 +125,21 @@ class EnergyAccountant:
         self,
         policies: Iterable[SleepPolicy],
         active_cycles: float,
-        histogram: IntervalHistogram,
+        histogram: Union[IntervalHistogram, HistogramBatch],
         interval_sequence: Optional[Sequence[int]] = None,
+        vectorized: bool = False,
     ) -> Dict[str, PolicyResult]:
         """Evaluate a policy suite; stateful ones need the ordered stream."""
+        if vectorized:
+            # Wrap once so the whole suite shares one batch (and its
+            # per-policy totals memo), not a throwaway batch per policy.
+            histogram = HistogramBatch.wrap(histogram)
         results: Dict[str, PolicyResult] = {}
         for policy in policies:
             if policy.stateless:
-                result = self.evaluate_histogram(policy, active_cycles, histogram)
+                result = self.evaluate_histogram(
+                    policy, active_cycles, histogram, vectorized=vectorized
+                )
             else:
                 if interval_sequence is None:
                     raise ValueError(

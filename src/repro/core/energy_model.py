@@ -36,7 +36,13 @@ class CycleCounts:
             value = getattr(self, name)
             if value < 0:
                 raise ValueError(f"{name} count must be non-negative, got {value}")
-        if self.transitions > self.sleep and self.sleep == 0 and self.transitions > 0:
+        # Invariant: a transition means the unit entered sleep, so a
+        # positive transition count requires some sleep residency — only
+        # the "transitioned but never slept" combination is rejected.
+        # Transitions may exceed sleep: fractional expectations (a scaled
+        # GradualSleep outcome, or a closed-form mean with sub-cycle
+        # sleep residency per transition) are valid cycle taxonomies.
+        if self.sleep == 0 and self.transitions > 0:
             raise ValueError("transitions recorded without any sleep cycles")
 
     @property

@@ -20,6 +20,7 @@ import math
 from dataclasses import dataclass
 
 from repro.core.breakeven import breakeven_interval
+from repro.core.energy_model import CycleCounts, relative_energy
 from repro.core.parameters import TechnologyParameters, check_alpha
 
 
@@ -77,6 +78,13 @@ class GradualSleepDesign:
 
         Fractional ``L`` (from usage-scenario means) is handled by linear
         interpolation between the integral closed forms.
+
+        Computed by building the interval's cycle taxonomy (the same
+        uncontrolled/sleep/transition split
+        :meth:`repro.core.policies.GradualSleepPolicy.on_interval`
+        produces) and pricing it with :func:`relative_energy`, so this
+        closed form and the policy-accounting path cannot drift: they are
+        float-for-float the same computation.
         """
         check_alpha(alpha)
         if interval < 0:
@@ -85,19 +93,14 @@ class GradualSleepDesign:
             return 0.0
 
         n = float(self.num_slices)
-        if interval <= n:
-            asleep_slice_cycles = interval * (interval + 1.0) / 2.0
-        else:
-            asleep_slice_cycles = n * (n + 1.0) / 2.0 + n * (interval - n)
-        total_slice_cycles = interval * n
-        awake_slice_cycles = total_slice_cycles - asleep_slice_cycles
-
-        sleep_leak = (asleep_slice_cycles / n) * params.sleep_cycle_energy()
-        idle_leak = (awake_slice_cycles / n) * params.uncontrolled_idle_energy(alpha)
-        transition = (
-            self.slices_transitioned(interval) / n
-        ) * params.transition_energy(alpha)
-        return sleep_leak + idle_leak + transition
+        asleep = self.interval_sleep_slice_cycles(interval) / n
+        counts = CycleCounts(
+            active=0.0,
+            uncontrolled_idle=interval - asleep,
+            sleep=asleep,
+            transitions=self.slices_transitioned(interval) / n,
+        )
+        return relative_energy(params, alpha, counts).total
 
     def interval_sleep_slice_cycles(self, interval: float) -> float:
         """Slice-cycles spent asleep over an interval (for accounting)."""

@@ -22,7 +22,9 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.breakeven import breakeven_interval
 from repro.core.energy_model import CycleCounts, EnergyBreakdown, relative_energy
@@ -65,6 +67,44 @@ class SleepPolicy(ABC):
     def on_interval(self, interval: int) -> IntervalOutcome:
         """Decide how an idle interval of ``interval`` cycles is spent."""
 
+    def outcomes_for_lengths(
+        self, lengths: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`on_interval`: per-length outcome components.
+
+        ``lengths`` is a float64 array of idle-interval lengths (each
+        >= 1); returns aligned ``(uncontrolled_idle, sleep, transitions)``
+        arrays. Every stateless policy overrides this with a closed form
+        whose per-element arithmetic is float-for-float identical to the
+        scalar path; this default walks :meth:`on_interval` so any new
+        stateless policy is batch-evaluable out of the box. Stateful
+        policies have no per-length closed form and are rejected.
+        """
+        if not self.stateless:
+            raise ValueError(
+                f"policy {self.name!r} is stateful; batched outcomes are "
+                "undefined (use run_policy_on_intervals)"
+            )
+        uncontrolled = np.empty(len(lengths))
+        sleep = np.empty(len(lengths))
+        transitions = np.empty(len(lengths))
+        for i, length in enumerate(lengths):
+            outcome = self.on_interval(int(length))
+            uncontrolled[i] = outcome.uncontrolled_idle
+            sleep[i] = outcome.sleep
+            transitions[i] = outcome.transitions
+        return uncontrolled, sleep, transitions
+
+    def outcome_key(self) -> Optional[Tuple]:
+        """Canonical signature of the interval -> outcome map, or ``None``.
+
+        Two policies with equal keys produce identical outcomes for every
+        interval length, so batched outcome totals can be memoized per
+        (key, histogram) across a sweep grid. ``None`` (the default)
+        disables memoization.
+        """
+        return None
+
     def _check_interval(self, interval: int) -> None:
         if interval < 1:
             raise ValueError(f"idle interval must be >= 1 cycle, got {interval}")
@@ -81,6 +121,13 @@ class AlwaysActivePolicy(SleepPolicy):
             uncontrolled_idle=float(interval), sleep=0.0, transitions=0.0
         )
 
+    def outcomes_for_lengths(self, lengths):
+        zero = np.zeros(len(lengths))
+        return lengths.astype(float), zero, zero.copy()
+
+    def outcome_key(self):
+        return ("AlwaysActive",)
+
 
 class MaxSleepPolicy(SleepPolicy):
     """Assert Sleep on every idle opportunity, however short."""
@@ -93,6 +140,12 @@ class MaxSleepPolicy(SleepPolicy):
             uncontrolled_idle=0.0, sleep=float(interval), transitions=1.0
         )
 
+    def outcomes_for_lengths(self, lengths):
+        return np.zeros(len(lengths)), lengths.astype(float), np.ones(len(lengths))
+
+    def outcome_key(self):
+        return ("MaxSleep",)
+
 
 class NoOverheadPolicy(SleepPolicy):
     """MaxSleep with free transitions: the unachievable lower bound."""
@@ -104,6 +157,13 @@ class NoOverheadPolicy(SleepPolicy):
         return IntervalOutcome(
             uncontrolled_idle=0.0, sleep=float(interval), transitions=0.0
         )
+
+    def outcomes_for_lengths(self, lengths):
+        zero = np.zeros(len(lengths))
+        return zero, lengths.astype(float), zero.copy()
+
+    def outcome_key(self):
+        return ("NoOverhead",)
 
 
 class GradualSleepPolicy(SleepPolicy):
@@ -130,6 +190,20 @@ class GradualSleepPolicy(SleepPolicy):
             transitions=self.design.slices_transitioned(interval) / n,
         )
 
+    def outcomes_for_lengths(self, lengths):
+        # Mirrors interval_sleep_slice_cycles/slices_transitioned with
+        # the branch expressed as min(L, n): for L <= n the extra
+        # ``n * (L - m)`` term is exactly 0.0, so the per-element floats
+        # are identical to the scalar branch.
+        n = float(self.design.num_slices)
+        length = lengths.astype(float)
+        ramp = np.minimum(length, n)
+        asleep = (ramp * (ramp + 1.0) / 2.0 + n * (length - ramp)) / n
+        return length - asleep, asleep, ramp / n
+
+    def outcome_key(self):
+        return ("GradualSleep", self.design.num_slices)
+
 
 class BreakevenOraclePolicy(SleepPolicy):
     """Knows each interval's length in advance; sleeps iff it pays.
@@ -153,6 +227,18 @@ class BreakevenOraclePolicy(SleepPolicy):
         return IntervalOutcome(
             uncontrolled_idle=float(interval), sleep=0.0, transitions=0.0
         )
+
+    def outcomes_for_lengths(self, lengths):
+        length = lengths.astype(float)
+        sleeps = length > self.threshold
+        return (
+            np.where(sleeps, 0.0, length),
+            np.where(sleeps, length, 0.0),
+            sleeps.astype(float),
+        )
+
+    def outcome_key(self):
+        return ("BreakevenOracle", self.threshold)
 
 
 class PredictiveSleepPolicy(SleepPolicy):
@@ -228,6 +314,18 @@ class TimeoutSleepPolicy(SleepPolicy):
             sleep=float(interval - self.timeout),
             transitions=1.0,
         )
+
+    def outcomes_for_lengths(self, lengths):
+        length = lengths.astype(float)
+        sleeps = length > self.timeout
+        return (
+            np.where(sleeps, float(self.timeout), length),
+            np.where(sleeps, length - float(self.timeout), 0.0),
+            sleeps.astype(float),
+        )
+
+    def outcome_key(self):
+        return ("TimeoutSleep", self.timeout)
 
 
 @dataclass(frozen=True)

@@ -494,8 +494,18 @@ class Pipeline:
             # which the caller's loop condition would have caught.
             return self.cycle + 1
         target = min(candidates)
-        stalled = max(0, target - self.cycle - 1)
-        self.fetch_stall_cycles += stalled if fetch_possible else 0
+        # Credit the skipped cycles that the walked path would have
+        # counted: ``_fetch`` records a stall for every visited cycle
+        # with instructions left to fetch while either a mispredicted
+        # branch is unresolved or fetch is stalled on a redirect/I-miss.
+        # The skip must account those cycles identically or the stat
+        # would depend on whether stretches were skipped or walked.
+        if self._fetch_index < len(self.trace):
+            if self._waiting_branch is not None:
+                stall_horizon = target
+            else:
+                stall_horizon = min(target, self._fetch_stalled_until)
+            self.fetch_stall_cycles += max(0, stall_horizon - self.cycle - 1)
         return max(self.cycle + 1, target)
 
     def _build_stats(self, end_cycle: int) -> SimulationStats:

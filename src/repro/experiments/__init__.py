@@ -15,6 +15,7 @@ Every module exposes ``run(...)`` returning a result dataclass and
 | figure9    | Figure 9a/b — technology sweep and leakage fractions  |
 | table3     | Table 3 — benchmark IPC and FU selection              |
 | ablations  | design-choice studies DESIGN.md calls out             |
+| sweep      | policy grids beyond the paper (technology x alpha)    |
 """
 
 from repro.experiments.common import (

@@ -12,12 +12,13 @@ derives all three from the same runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.accounting import EnergyAccountant, PolicyResult
 from repro.core.parameters import TechnologyParameters
 from repro.core.policies import SleepPolicy
+from repro.core.vectorized import HistogramBatch
 from repro.cpu.config import MachineConfig
 from repro.cpu.simulator import SimulationResult
 from repro.cpu.workloads import benchmark_names, get_benchmark
@@ -51,6 +52,24 @@ DEFAULT_SCALE = ExperimentScale()
 QUICK_SCALE = ExperimentScale(window_instructions=6_000, warmup_instructions=4_000)
 
 
+def merge_policy_results(
+    previous: PolicyResult, result: PolicyResult
+) -> PolicyResult:
+    """Combine two per-unit :class:`PolicyResult`\\ s of the same policy.
+
+    Counts, breakdowns, cycles, and baselines all sum component-wise, so
+    the merged :attr:`PolicyResult.normalized_energy` is the per-FU
+    recombination ``sum(E_i) / sum(E_max_i)``.
+    """
+    return PolicyResult(
+        policy_name=result.policy_name,
+        counts=previous.counts.plus(result.counts),
+        breakdown=previous.breakdown.plus(result.breakdown),
+        total_cycles=previous.total_cycles + result.total_cycles,
+        baseline_energy=previous.baseline_energy + result.baseline_energy,
+    )
+
+
 @dataclass
 class BenchmarkEnergyData:
     """One benchmark's simulation output, ready for energy accounting."""
@@ -58,6 +77,12 @@ class BenchmarkEnergyData:
     name: str
     num_fus: int
     result: SimulationResult
+    #: Lazily-built array views of the per-FU idle histograms. Shared by
+    #: every vectorized evaluation of this benchmark, so per-policy
+    #: outcome totals are memoized across sweep-grid cells.
+    _batches: Optional[List[HistogramBatch]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def total_cycles(self) -> int:
@@ -76,70 +101,72 @@ class BenchmarkEnergyData:
     def per_fu_interval_sequences(self) -> List[List[int]]:
         return [usage.idle_intervals for usage in self.result.stats.fu_usage]
 
+    def per_fu_batches(self) -> List[HistogramBatch]:
+        """Array-backed histogram views, built once per benchmark."""
+        if self._batches is None:
+            self._batches = [
+                HistogramBatch(usage.idle_histogram)
+                for usage in self.result.stats.fu_usage
+            ]
+        return self._batches
+
     def evaluate_policies(
         self,
         params: TechnologyParameters,
         alpha: float,
         policies: Sequence[SleepPolicy],
+        vectorized: bool = True,
     ) -> Dict[str, float]:
         """Total normalized energy (vs E_max) of each policy, summed over
         this benchmark's functional units.
 
         Each FU is controlled independently (as in the paper); the
-        benchmark's energy is the sum over FUs, normalized by the summed
-        E_max baseline.
+        benchmark's energy is the summed per-FU energy normalized by the
+        summed per-FU E_max baseline. Both use the accountant's
+        denominator — each unit's own busy + idle cycles — which is also
+        what :attr:`PolicyResult.normalized_energy` uses, so the
+        per-benchmark normalization is exactly the recombination of the
+        per-FU ones.
         """
-        accountant = EnergyAccountant(params, alpha)
-        totals: Dict[str, float] = {}
-        baseline = 0.0
-        stats = self.result.stats
-        for usage in stats.fu_usage:
-            baseline += accountant.baseline_energy(stats.total_cycles)
-            results = accountant.evaluate_many(
-                policies,
-                active_cycles=usage.busy_cycles,
-                histogram=usage.idle_histogram,
-                interval_sequence=usage.idle_intervals,
-            )
-            for name, result in results.items():
-                totals[name] = totals.get(name, 0.0) + result.total_energy
-        return {name: total / baseline for name, total in totals.items()}
+        merged = self.evaluate_policy_breakdowns(
+            params, alpha, policies, vectorized=vectorized
+        )
+        return {name: result.normalized_energy for name, result in merged.items()}
 
     def evaluate_policy_breakdowns(
         self,
         params: TechnologyParameters,
         alpha: float,
         policies: Sequence[SleepPolicy],
+        vectorized: bool = True,
     ) -> Dict[str, PolicyResult]:
         """Per-policy :class:`PolicyResult` with breakdowns summed over FUs.
 
-        Used by Figure 9b, which needs the leakage/total split rather
-        than just totals.
+        Used by Figure 9b (which needs the leakage/total split) and the
+        sweep engine. ``vectorized`` switches stateless policies to the
+        array-backed histogram path, which is float-for-float identical
+        to the scalar loop; stateful policies always replay the ordered
+        interval sequence.
         """
         accountant = EnergyAccountant(params, alpha)
         merged: Dict[str, PolicyResult] = {}
         stats = self.result.stats
-        for usage in stats.fu_usage:
+        batches = self.per_fu_batches() if vectorized else None
+        for index, usage in enumerate(stats.fu_usage):
             results = accountant.evaluate_many(
                 policies,
                 active_cycles=usage.busy_cycles,
-                histogram=usage.idle_histogram,
+                histogram=(
+                    batches[index] if batches is not None else usage.idle_histogram
+                ),
                 interval_sequence=usage.idle_intervals,
+                vectorized=vectorized,
             )
             for name, result in results.items():
                 if name not in merged:
                     merged[name] = result
                 else:
-                    previous = merged[name]
-                    merged[name] = PolicyResult(
-                        policy_name=name,
-                        counts=previous.counts.plus(result.counts),
-                        breakdown=previous.breakdown.plus(result.breakdown),
-                        total_cycles=previous.total_cycles + result.total_cycles,
-                        baseline_energy=(
-                            previous.baseline_energy + result.baseline_energy
-                        ),
-                    )
+                    merged[name] = merge_policy_results(merged[name], result)
         return merged
 
 

@@ -19,13 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Sequence
 
-from repro.core.parameters import PAPER_ALPHAS_EMPIRICAL, TechnologyParameters
-from repro.core.policies import paper_policy_suite
+from repro.core.parameters import PAPER_ALPHAS_EMPIRICAL
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentScale,
     collect_benchmark_data,
 )
+from repro.experiments.sweep import SweepGrid, evaluate_grid
 from repro.util.summaries import arithmetic_mean
 from repro.util.tables import format_table
 
@@ -48,36 +48,39 @@ class Figure8Result:
     fu_counts: Dict[str, int]
 
 
-def _canonical(policy_name: str) -> str:
-    """Strip the slice-count suffix from the GradualSleep label."""
-    if policy_name.startswith("GradualSleep"):
-        return GRADUAL
-    return policy_name
-
-
 def run(
     scale: ExperimentScale = DEFAULT_SCALE,
     p_values: Sequence[float] = P_VALUES,
     alphas: Sequence[float] = PAPER_ALPHAS_EMPIRICAL,
     benchmarks: Sequence[str] = (),
 ) -> Figure8Result:
-    """Evaluate the four policies per benchmark, technology, and alpha."""
+    """Evaluate the four policies per benchmark, technology, and alpha.
+
+    A thin view over the sweep engine: the figure's 2 x 3 (technology x
+    alpha) grid is one :func:`repro.experiments.sweep.evaluate_grid`
+    pass over the cached simulation results.
+    """
     names = list(benchmarks) if benchmarks else None
     data = collect_benchmark_data(scale=scale, benchmarks=names)
-    energies: Dict[float, Dict[float, Dict[str, Dict[str, float]]]] = {}
-    for p in p_values:
-        params = TechnologyParameters(leakage_factor_p=p)
-        per_alpha: Dict[float, Dict[str, Dict[str, float]]] = {}
-        for alpha in alphas:
-            policies = paper_policy_suite(params, alpha)
-            per_bench: Dict[str, Dict[str, float]] = {}
-            for bench in data:
-                raw = bench.evaluate_policies(params, alpha, policies)
-                per_bench[bench.name] = {
-                    _canonical(name): value for name, value in raw.items()
+    grid = SweepGrid(
+        p_values=tuple(p_values),
+        alphas=tuple(alphas),
+        policies=(MAX_SLEEP, GRADUAL, ALWAYS_ACTIVE, NO_OVERHEAD),
+    )
+    swept = evaluate_grid(data, grid)
+    energies: Dict[float, Dict[float, Dict[str, Dict[str, float]]]] = {
+        p: {
+            alpha: {
+                bench.name: {
+                    policy: swept.cell(p, alpha, bench.name, policy).normalized_energy
+                    for policy in grid.policies
                 }
-            per_alpha[alpha] = per_bench
-        energies[p] = per_alpha
+                for bench in data
+            }
+            for alpha in alphas
+        }
+        for p in p_values
+    }
     return Figure8Result(
         energies=energies,
         fu_counts={bench.name: bench.num_fus for bench in data},

@@ -16,13 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.core.parameters import TechnologyParameters
-from repro.core.policies import paper_policy_suite
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentScale,
     collect_benchmark_data,
 )
+from repro.experiments.sweep import SweepGrid, evaluate_grid
 from repro.util.summaries import arithmetic_mean
 from repro.util.tables import format_series
 
@@ -34,12 +33,6 @@ GRADUAL = "GradualSleep"
 ALWAYS_ACTIVE = "AlwaysActive"
 NO_OVERHEAD = "NoOverhead"
 POLICY_ORDER = (GRADUAL, MAX_SLEEP, ALWAYS_ACTIVE)
-
-
-def _canonical(policy_name: str) -> str:
-    if policy_name.startswith("GradualSleep"):
-        return GRADUAL
-    return policy_name
 
 
 @dataclass(frozen=True)
@@ -62,17 +55,26 @@ def run(
     alpha: float = DEFAULT_ALPHA,
     benchmarks: Sequence[str] = (),
 ) -> Figure9Result:
-    """Sweep the leakage factor over the measured benchmark suite."""
+    """Sweep the leakage factor over the measured benchmark suite.
+
+    A thin view over the sweep engine: the 20-point technology grid at
+    one alpha is a single :func:`repro.experiments.sweep.evaluate_grid`
+    pass over the cached simulation results.
+    """
     names = list(benchmarks) if benchmarks else None
     data = collect_benchmark_data(scale=scale, benchmarks=names)
+    grid = SweepGrid(
+        p_values=tuple(p_grid),
+        alphas=(alpha,),
+        policies=POLICY_ORDER + (NO_OVERHEAD,),
+    )
+    swept = evaluate_grid(data, grid)
 
     relative: Dict[str, List[float]] = {name: [] for name in POLICY_ORDER}
     leakage: Dict[str, List[float]] = {
         name: [] for name in POLICY_ORDER + (NO_OVERHEAD,)
     }
-    for p in p_grid:
-        params = TechnologyParameters(leakage_factor_p=p)
-        policies = paper_policy_suite(params, alpha)
+    for p in grid.p_values:
         per_policy_ratios: Dict[str, List[float]] = {
             name: [] for name in POLICY_ORDER
         }
@@ -80,18 +82,14 @@ def run(
             name: [] for name in POLICY_ORDER + (NO_OVERHEAD,)
         }
         for bench in data:
-            breakdowns = bench.evaluate_policy_breakdowns(params, alpha, policies)
-            by_name = {
-                _canonical(name): result for name, result in breakdowns.items()
-            }
-            no_total = by_name[NO_OVERHEAD].total_energy
+            no_total = swept.cell(p, alpha, bench.name, NO_OVERHEAD).total_energy
             for name in POLICY_ORDER:
                 per_policy_ratios[name].append(
-                    by_name[name].total_energy / no_total
+                    swept.cell(p, alpha, bench.name, name).total_energy / no_total
                 )
             for name in POLICY_ORDER + (NO_OVERHEAD,):
                 per_policy_leakage[name].append(
-                    by_name[name].breakdown.leakage_fraction
+                    swept.cell(p, alpha, bench.name, name).leakage_fraction
                 )
         for name in POLICY_ORDER:
             relative[name].append(arithmetic_mean(per_policy_ratios[name]))

@@ -32,7 +32,7 @@ from repro.exec.engine import (
 )
 from repro.exec.jobs import SimulationJob
 from repro.experiments import ablations, figure3, figure4, figure5, figure7
-from repro.experiments import figure8, figure9, table1, table3
+from repro.experiments import figure8, figure9, sweep, table1, table3
 from repro.experiments.common import (
     DEFAULT_SCALE,
     QUICK_SCALE,
@@ -77,6 +77,9 @@ def enumerate_jobs(scale: ExperimentScale) -> List[SimulationJob]:
             scale=scale, benchmarks=[ablations.FU_COUNT_BENCHMARK], fu_override=4
         )
     )
+    # Policy-grid sweeps price the same reference-FU suite, so a prewarmed
+    # cache serves ``repro sweep`` too (dedups to nothing extra today).
+    jobs.extend(sweep.sweep_jobs(scale=scale))
     return jobs
 
 

@@ -29,6 +29,25 @@ class TestCycleCounts:
         with pytest.raises(ValueError):
             CycleCounts(active=1, transitions=2)
 
+    def test_rejects_fractional_transitions_without_sleep(self):
+        """The guard is exact: any positive transition count needs some
+        sleep residency, however small."""
+        with pytest.raises(ValueError):
+            CycleCounts(active=0, sleep=0.0, transitions=1e-9)
+
+    def test_fractional_gradual_outcomes_pass(self):
+        """Fractional GradualSleep expectations must be accepted: partial
+        transitions with sub-cycle sleep residency, including
+        transitions exceeding sleep."""
+        counts = CycleCounts(active=0, sleep=0.125, transitions=0.125)
+        assert counts.total_cycles == pytest.approx(0.125)
+        exceeded = CycleCounts(active=0, sleep=0.25, transitions=0.5)
+        assert exceeded.transitions > exceeded.sleep  # valid taxonomy
+
+    def test_zero_transitions_zero_sleep_pass(self):
+        counts = CycleCounts(active=5, uncontrolled_idle=3)
+        assert counts.sleep == 0.0 and counts.transitions == 0.0
+
     def test_scaled(self):
         counts = CycleCounts(active=10, sleep=4, transitions=2)
         doubled = counts.scaled(2.0)

@@ -60,6 +60,33 @@ class TestIntervalEnergy:
         design = GradualSleepDesign(num_slices=10)
         assert design.interval_energy(params, 0.5, 0) == 0.0
 
+    def test_equals_policy_accounting_exhaustively(self):
+        """Exact (==) agreement with the on_interval + relative_energy
+        path across slice counts and intervals 1..4n, at the paper's
+        technology points and empirical alphas. The two closed forms
+        live in different files; this pins them together."""
+        from repro.core.energy_model import CycleCounts, relative_energy
+        from repro.core.policies import GradualSleepPolicy
+
+        for p in (0.05, 0.5):
+            tech = TechnologyParameters(leakage_factor_p=p)
+            for alpha in (0.25, 0.5, 0.75):
+                for n in (1, 2, 3, 5, 8, 13, 32):
+                    design = GradualSleepDesign(num_slices=n)
+                    policy = GradualSleepPolicy(design)
+                    for interval in range(1, 4 * n + 1):
+                        outcome = policy.on_interval(interval)
+                        counts = CycleCounts(
+                            active=0.0,
+                            uncontrolled_idle=outcome.uncontrolled_idle,
+                            sleep=outcome.sleep,
+                            transitions=outcome.transitions,
+                        )
+                        assert (
+                            relative_energy(tech, alpha, counts).total
+                            == design.interval_energy(tech, alpha, interval)
+                        )
+
     def test_single_slice_equals_max_sleep(self, params):
         """One slice degenerates to MaxSleep exactly."""
         design = GradualSleepDesign(num_slices=1)

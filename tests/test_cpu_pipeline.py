@@ -157,6 +157,73 @@ class TestBranchBehavior:
         assert noisy.branch_mispredict_rate > predictable.branch_mispredict_rate
 
 
+class _WalkingPipeline(Pipeline):
+    """Event-skipping disabled: every stall cycle is walked one by one.
+
+    Semantically identical to the skipping pipeline — the skip is purely
+    an optimization — so every statistic must match the base class.
+    """
+
+    def _next_event_cycle(self):
+        return self.cycle + 1
+
+
+class TestFetchStallAccounting:
+    """fetch_stall_cycles must not depend on event-skipping.
+
+    Regression test: cycles skipped while waiting on a mispredicted
+    branch (or a fetch redirect) used to be dropped from the stat, while
+    the same cycles walked one-by-one were counted.
+    """
+
+    @pytest.mark.parametrize("name", ["mcf", "gcc", "health"])
+    def test_invariant_to_event_skipping(self, name):
+        trace = generate_trace(get_benchmark(name), 2500)
+        config = MachineConfig().with_int_fus(2)
+        skipping = Pipeline(trace, config=config).run()
+        walking = _WalkingPipeline(list(trace), config=config).run()
+        assert skipping.total_cycles == walking.total_cycles
+        assert skipping.fetch_stall_cycles == walking.fetch_stall_cycles
+        assert skipping.fetch_stall_cycles > 0
+
+    def test_invariant_with_warmup(self):
+        """The warmup-boundary reset must agree between the two paths."""
+        trace = generate_trace(get_benchmark("mcf"), 3000)
+        skipping = Pipeline(trace).run(warmup_instructions=1500)
+        walking = _WalkingPipeline(list(trace)).run(warmup_instructions=1500)
+        assert skipping.fetch_stall_cycles == walking.fetch_stall_cycles
+        assert skipping.total_cycles == walking.total_cycles
+
+    def test_mispredict_wait_counted_as_fetch_stall(self):
+        """A long-latency load feeding a mispredicted branch: the skip
+        over the resolution wait must show up in fetch_stall_cycles."""
+        trace = []
+        # Pointer-chase loads at distinct addresses (cold misses), each
+        # feeding a branch that alternates unpredictably.
+        for i in range(64):
+            trace.append(
+                TraceInstruction(
+                    OpClass.LOAD, 0x1000 + 4 * (2 * i), address=0x900000 + 4096 * i
+                )
+            )
+            taken = bool(bin(i * 2654435761 % 2**32).count("1") & 1)
+            trace.append(
+                TraceInstruction(
+                    OpClass.BRANCH,
+                    0x1000 + 4 * (2 * i + 1),
+                    taken=taken,
+                    target=0x1000,
+                    dep1=1,
+                )
+            )
+        skipping = Pipeline(trace).run()
+        walking = _WalkingPipeline(list(trace)).run()
+        assert skipping.fetch_stall_cycles == walking.fetch_stall_cycles
+        # Misses + mispredicts dominate this trace: most cycles are
+        # fetch stalls, and they must survive the event skip.
+        assert skipping.fetch_stall_cycles > 0.3 * skipping.total_cycles
+
+
 class TestWarmup:
     def test_warmup_shrinks_measured_window(self):
         trace = generate_trace(get_benchmark("gzip"), 4000)

@@ -39,6 +39,46 @@ class TestCollectBenchmarkData:
         assert len(energies) == 4
         assert all(0 < e < 1.5 for e in energies.values())
 
+    def test_normalization_recombines_per_fu_results(self):
+        """Regression: the per-benchmark normalization must equal the
+        recombination of per-FU normalized energies,
+        ``sum_i(norm_i * E_max_i) / sum_i(E_max_i)`` — i.e. both levels
+        share one denominator (the accountant's busy + idle cycles)."""
+        from repro.core.accounting import EnergyAccountant
+        from repro.core.parameters import TechnologyParameters
+        from repro.core.policies import paper_policy_suite
+
+        data = collect_benchmark_data(scale=QUICK_SCALE, benchmarks=("gzip",))[0]
+        params = TechnologyParameters(leakage_factor_p=0.5)
+        policies = paper_policy_suite(params, 0.5)
+        energies = data.evaluate_policies(params, 0.5, policies)
+
+        accountant = EnergyAccountant(params, 0.5)
+        recombined: dict = {}
+        baselines: dict = {}
+        for usage in data.result.stats.fu_usage:
+            per_fu = accountant.evaluate_many(
+                policies,
+                active_cycles=usage.busy_cycles,
+                histogram=usage.idle_histogram,
+                interval_sequence=usage.idle_intervals,
+            )
+            for name, result in per_fu.items():
+                # The accountant's denominator: busy + idle cycles.
+                expected_baseline = accountant.baseline_energy(
+                    usage.busy_cycles + usage.idle_histogram.total_idle_cycles
+                )
+                assert result.baseline_energy == expected_baseline
+                recombined[name] = (
+                    recombined.get(name, 0.0)
+                    + result.normalized_energy * result.baseline_energy
+                )
+                baselines[name] = baselines.get(name, 0.0) + result.baseline_energy
+        for name, value in energies.items():
+            assert value == pytest.approx(
+                recombined[name] / baselines[name], rel=1e-12
+            )
+
     def test_breakdown_counts_sum_across_fus(self):
         """Merged PolicyResult.counts must cover every FU, not just the
         first: the per-policy cycle totals have to account for

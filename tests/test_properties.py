@@ -164,6 +164,27 @@ class TestGradualSleepLaws:
         assert gradual >= ms - 1e-9
         assert gradual <= aa + params.transition_energy(alpha) + 1e-9
 
+    @given(techs, alphas, st.integers(1, 64), st.integers(0, 10_000))
+    def test_policy_path_reproduces_design_closed_form_exactly(
+        self, params, alpha, slices, draw
+    ):
+        """GradualSleepPolicy.on_interval priced by relative_energy must
+        equal GradualSleepDesign.interval_energy with ``==`` — the two
+        closed forms live in different files and must never drift."""
+        design = GradualSleepDesign(num_slices=slices)
+        interval = 1 + draw % (4 * slices)
+        outcome = GradualSleepPolicy(design).on_interval(interval)
+        counts = CycleCounts(
+            active=0.0,
+            uncontrolled_idle=outcome.uncontrolled_idle,
+            sleep=outcome.sleep,
+            transitions=outcome.transitions,
+        )
+        assert (
+            relative_energy(params, alpha, counts).total
+            == design.interval_energy(params, alpha, interval)
+        )
+
 
 class TestHistogramLaws:
     @given(interval_lists)
