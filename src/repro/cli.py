@@ -3,7 +3,10 @@
 Lists and runs the paper's experiments by name. ``all`` runs the full
 set (equivalent to ``python -m repro.experiments.runner``); ``sweep``
 evaluates a policy grid (``--p-grid`` x ``--alpha-grid`` x
-``--policies``) over the benchmark suite with the vectorized engine.
+``--policies``) over the benchmark suite with the vectorized engine;
+``perf`` runs the closed-loop study — policies inside the pipeline,
+sleeping units stalling issue on the wakeup latency — and reports
+energy savings against the measured IPC slowdown.
 
 Execution-engine flags apply to every experiment: ``--jobs N`` fans
 simulation batches out across N worker processes, ``--cache-dir`` points
@@ -26,6 +29,7 @@ from repro.experiments import (
     figure7,
     figure8,
     figure9,
+    perf_impact,
     runner,
     sweep,
     table1,
@@ -59,36 +63,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_registry(DEFAULT_SCALE)) + ["sweep", "all", "list"],
-        help="experiment to run, 'sweep' for a policy-grid sweep, "
-        "'all' for everything, 'list' to enumerate",
+        choices=sorted(_registry(DEFAULT_SCALE)) + ["perf", "sweep", "all", "list"],
+        help="experiment to run, 'sweep' for a policy-grid sweep, 'perf' "
+        "for the closed-loop energy-vs-slowdown study, 'all' for "
+        "everything, 'list' to enumerate",
     )
     parser.add_argument(
         "--quick",
         action="store_true",
         help="reduced simulation windows (smoke-test scale)",
     )
-    group = parser.add_argument_group("sweep options (sweep only)")
+    group = parser.add_argument_group("sweep/perf options")
     group.add_argument(
         "--p-grid",
-        default=sweep.DEFAULT_P_SPEC,
+        default=None,
         metavar="SPEC",
         help="technology (leakage factor) grid: 'lo:hi:n' for n evenly "
-        "spaced points, or a comma list like '0.05,0.5' (default: %(default)s)",
+        "spaced points, or a comma list like '0.05,0.5' (default: "
+        f"{sweep.DEFAULT_P_SPEC} for sweep, "
+        f"{','.join(str(p) for p in perf_impact.DEFAULT_P_VALUES)} for perf)",
     )
     group.add_argument(
         "--alpha-grid",
         default=sweep.DEFAULT_ALPHA_SPEC,
         metavar="SPEC",
-        help="activity-factor grid, same syntax (default: %(default)s)",
+        help="activity-factor grid, same syntax (sweep only; "
+        "default: %(default)s)",
     )
     group.add_argument(
         "--policies",
-        default=",".join(sweep.DEFAULT_POLICIES),
+        default=None,
         metavar="NAMES",
         help="comma list of policies from: "
-        + ", ".join(sorted(sweep.POLICY_FACTORIES))
-        + " (default: %(default)s)",
+        + ", ".join(sorted([*sweep.POLICY_FACTORIES, "PredictiveSleep"]))
+        + " (PredictiveSleep: perf only; default: "
+        + ",".join(sweep.DEFAULT_POLICIES)
+        + " for sweep, "
+        + ",".join(perf_impact.DEFAULT_PERF_POLICIES)
+        + " for perf)",
     )
     group.add_argument(
         "--benchmarks",
@@ -96,25 +108,66 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAMES",
         help="comma list of benchmarks (default: the full nine-benchmark suite)",
     )
+    group.add_argument(
+        "--alpha",
+        type=float,
+        default=perf_impact.DEFAULT_ALPHA,
+        metavar="A",
+        help="activity factor for the closed-loop study (perf only; "
+        "default: %(default)s)",
+    )
+    group.add_argument(
+        "--wakeup-latencies",
+        default=",".join(str(w) for w in perf_impact.DEFAULT_WAKEUP_LATENCIES),
+        metavar="CYCLES",
+        help="comma list of wakeup latencies in cycles (perf only; "
+        "default: %(default)s)",
+    )
     runner.add_execution_arguments(parser)
     return parser
 
 
+def _split_names(spec: str) -> tuple:
+    return tuple(name.strip() for name in spec.split(",") if name.strip())
+
+
 def _run_sweep(args: argparse.Namespace, scale: ExperimentScale) -> str:
     grid = sweep.SweepGrid(
-        p_values=sweep.parse_grid(args.p_grid),
+        p_values=sweep.parse_grid(args.p_grid or sweep.DEFAULT_P_SPEC),
         alphas=sweep.parse_grid(args.alpha_grid),
-        policies=tuple(
-            name.strip() for name in args.policies.split(",") if name.strip()
-        ),
-    )
-    benchmarks = tuple(
-        name.strip() for name in args.benchmarks.split(",") if name.strip()
+        policies=_split_names(args.policies or ",".join(sweep.DEFAULT_POLICIES)),
     )
     result = sweep.run(
-        scale=scale, grid=grid, benchmarks=benchmarks, jobs=args.jobs
+        scale=scale,
+        grid=grid,
+        benchmarks=_split_names(args.benchmarks),
+        jobs=args.jobs,
     )
     return sweep.render(result)
+
+
+def _run_perf(args: argparse.Namespace, scale: ExperimentScale) -> str:
+    policies = _split_names(
+        args.policies or ",".join(perf_impact.DEFAULT_PERF_POLICIES)
+    )
+    p_values = (
+        sweep.parse_grid(args.p_grid)
+        if args.p_grid
+        else perf_impact.DEFAULT_P_VALUES
+    )
+    latencies = tuple(
+        int(token) for token in _split_names(args.wakeup_latencies)
+    )
+    result = perf_impact.run(
+        scale=scale,
+        policies=policies,
+        p_values=p_values,
+        alpha=args.alpha,
+        wakeup_latencies=latencies,
+        benchmarks=_split_names(args.benchmarks) or None,
+        jobs=args.jobs,
+    )
+    return perf_impact.render(result)
 
 
 def main(argv=None) -> int:
@@ -122,7 +175,7 @@ def main(argv=None) -> int:
     scale = QUICK_SCALE if args.quick else DEFAULT_SCALE
     registry = _registry(scale)
     if args.experiment == "list":
-        for name in sorted(registry) + ["sweep"]:
+        for name in sorted(registry) + ["perf", "sweep"]:
             print(name)
         return 0
     runner.apply_execution_arguments(args)
@@ -131,6 +184,9 @@ def main(argv=None) -> int:
         return 0
     if args.experiment == "sweep":
         print(_run_sweep(args, scale))
+        return 0
+    if args.experiment == "perf":
+        print(_run_perf(args, scale))
         return 0
     print(registry[args.experiment]())
     return 0

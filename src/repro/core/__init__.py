@@ -13,6 +13,9 @@ Layout:
 * :mod:`repro.core.policies` — event-driven sleep controllers,
 * :mod:`repro.core.accounting` — interval-histogram energy accounting used
   by the empirical study (Figures 8-9),
+* :mod:`repro.core.sleep_control` — online sleep controllers, runtime
+  energy-state tallies, and the policy registry behind the closed-loop
+  (``repro perf``) simulations,
 * :mod:`repro.core.vectorized` — the array-backed (NumPy) histogram
   engine behind sweep grids, float-for-float equal to the scalar path,
 * :mod:`repro.core.activity` — activity factors estimated from operand
@@ -53,6 +56,15 @@ from repro.core.policies import (
     run_policy_on_intervals,
 )
 from repro.core.accounting import EnergyAccountant, PolicyResult
+from repro.core.sleep_control import (
+    POLICY_BUILDERS,
+    PolicyController,
+    RuntimeTally,
+    SleepController,
+    breakeven_timeout,
+    build_controllers,
+    build_policy,
+)
 from repro.core.vectorized import HistogramBatch, exact_weighted_sum
 from repro.core.activity import (
     OperandValueModel,
@@ -79,10 +91,17 @@ __all__ = [
     "NoOverheadPolicy",
     "PAPER_ALPHAS_ANALYTIC",
     "PAPER_ALPHAS_EMPIRICAL",
+    "POLICY_BUILDERS",
+    "PolicyController",
     "PolicyEnergies",
     "PolicyResult",
     "PredictiveSleepPolicy",
+    "RuntimeTally",
+    "SleepController",
     "SleepPolicy",
+    "breakeven_timeout",
+    "build_controllers",
+    "build_policy",
     "TechnologyParameters",
     "UsageScenario",
     "absolute_energy_fj",

@@ -21,6 +21,7 @@ from typing import Dict, Iterable, Optional, Sequence, Union
 from repro.core.energy_model import CycleCounts, EnergyBreakdown, relative_energy
 from repro.core.parameters import TechnologyParameters, check_alpha
 from repro.core.policies import SleepPolicy, run_policy_on_intervals
+from repro.core.sleep_control import RuntimeTally
 from repro.core.vectorized import HistogramBatch
 from repro.util.intervals import IntervalHistogram
 
@@ -121,6 +122,29 @@ class EnergyAccountant:
         idle_cycles = float(sum(intervals))
         return self._finish(run.policy_name, run.counts, idle_cycles)
 
+    def evaluate_runtime(
+        self, policy_name: str, tally: RuntimeTally
+    ) -> PolicyResult:
+        """Price the energy-state tallies of one closed-loop unit.
+
+        The tally's uncontrolled/sleep/transition components are sums of
+        the same :class:`~repro.core.policies.IntervalOutcome` values the
+        open-loop walks produce, so a zero-wakeup-latency closed-loop run
+        prices float-for-float identically to
+        :meth:`evaluate_histogram` / :meth:`evaluate_sequence` on the
+        same intervals. ``waking`` and ``awake_wait`` cycles (nonzero
+        only with a real wakeup latency) are priced at the
+        uncontrolled-idle leakage rate: the unit is powered but useless.
+        """
+        wake_idle = tally.waking + tally.awake_wait
+        counts = CycleCounts(
+            active=tally.active,
+            uncontrolled_idle=tally.uncontrolled_idle + wake_idle,
+            sleep=tally.sleep,
+            transitions=tally.transitions,
+        )
+        return self._finish(policy_name, counts, tally.idle_cycles)
+
     def evaluate_many(
         self,
         policies: Iterable[SleepPolicy],
@@ -136,15 +160,29 @@ class EnergyAccountant:
             histogram = HistogramBatch.wrap(histogram)
         results: Dict[str, PolicyResult] = {}
         for policy in policies:
+            # Defensive: stateful policies carry cross-interval state
+            # (e.g. the EWMA prediction); reset before every walk so
+            # back-to-back evaluations of the same policy object are
+            # identical regardless of caller discipline. (The sequence
+            # and scalar-histogram paths also reset internally; this
+            # covers any future path that forgets.)
+            policy.reset()
             if policy.stateless:
                 result = self.evaluate_histogram(
                     policy, active_cycles, histogram, vectorized=vectorized
                 )
             else:
-                if interval_sequence is None:
+                # An *empty* sequence next to a non-empty histogram means
+                # the simulation ran with record_sequences=False — pricing
+                # the policy against zero idle cycles would be silently
+                # wrong, not merely approximate.
+                if interval_sequence is None or (
+                    len(interval_sequence) == 0 and len(histogram) > 0
+                ):
                     raise ValueError(
                         f"policy {policy.name!r} is stateful and requires "
-                        "interval_sequence"
+                        "the ordered interval_sequence (simulate with "
+                        "record_sequences=True)"
                     )
                 result = self.evaluate_sequence(
                     policy, active_cycles, interval_sequence

@@ -60,12 +60,30 @@ class SleepPolicy(ABC):
     #: accounting.
     stateless: bool = True
 
+    #: Unachievable reference policies (NoOverhead, the break-even oracle)
+    #: are assumed to pre-wake the unit in closed-loop simulation: they
+    #: never stall an acquire on the wakeup latency.
+    wakeup_free: bool = False
+
     def reset(self) -> None:
         """Clear any cross-interval state (default: none)."""
 
     @abstractmethod
     def on_interval(self, interval: int) -> IntervalOutcome:
         """Decide how an idle interval of ``interval`` cycles is spent."""
+
+    def sleeps_at(self, elapsed: int) -> bool:
+        """Online schedule: is the unit asleep after ``elapsed`` idle cycles?
+
+        Queried by the closed-loop runtime mid-interval (``elapsed`` >= 1,
+        the true interval length still unknown); the answer decides
+        whether an acquire must pay the wakeup latency. It must agree
+        with :meth:`on_interval`'s accounting: the unit is asleep at the
+        end of an interval of length ``L`` iff ``on_interval(L)`` bills a
+        nonzero trailing sleep span. The conservative default — never
+        asleep — is correct for any policy that only clock-gates.
+        """
+        return False
 
     def outcomes_for_lengths(
         self, lengths: np.ndarray
@@ -128,6 +146,9 @@ class AlwaysActivePolicy(SleepPolicy):
     def outcome_key(self):
         return ("AlwaysActive",)
 
+    def sleeps_at(self, elapsed: int) -> bool:
+        return False
+
 
 class MaxSleepPolicy(SleepPolicy):
     """Assert Sleep on every idle opportunity, however short."""
@@ -146,11 +167,19 @@ class MaxSleepPolicy(SleepPolicy):
     def outcome_key(self):
         return ("MaxSleep",)
 
+    def sleeps_at(self, elapsed: int) -> bool:
+        return True
+
 
 class NoOverheadPolicy(SleepPolicy):
-    """MaxSleep with free transitions: the unachievable lower bound."""
+    """MaxSleep with free transitions: the unachievable lower bound.
+
+    Its closed-loop counterpart is equally ideal: transitions are free in
+    both directions, so it never stalls an acquire (``wakeup_free``).
+    """
 
     name = "NoOverhead"
+    wakeup_free = True
 
     def on_interval(self, interval: int) -> IntervalOutcome:
         self._check_interval(interval)
@@ -164,6 +193,9 @@ class NoOverheadPolicy(SleepPolicy):
 
     def outcome_key(self):
         return ("NoOverhead",)
+
+    def sleeps_at(self, elapsed: int) -> bool:
+        return True
 
 
 class GradualSleepPolicy(SleepPolicy):
@@ -204,6 +236,12 @@ class GradualSleepPolicy(SleepPolicy):
     def outcome_key(self):
         return ("GradualSleep", self.design.num_slices)
 
+    def sleeps_at(self, elapsed: int) -> bool:
+        # The shift register puts the first slice to sleep on the first
+        # idle cycle; waking any asleep slice requires the full Sleep
+        # de-assertion, so the unit stalls an acquire from then on.
+        return True
+
 
 class BreakevenOraclePolicy(SleepPolicy):
     """Knows each interval's length in advance; sleeps iff it pays.
@@ -211,7 +249,13 @@ class BreakevenOraclePolicy(SleepPolicy):
     This is the per-interval optimum over {sleep fully, stay awake}: the
     ``min(E_MaxSleep, E_AlwaysActive)`` combination Section 3.2 names as
     the best blend of the two boundary policies.
+
+    In closed-loop simulation the same prescience lets it pre-wake the
+    unit exactly in time for the next operation (``wakeup_free``): the
+    oracle is a pure energy bound and never pays a performance penalty.
     """
+
+    wakeup_free = True
 
     def __init__(self, params: TechnologyParameters, alpha: float):
         check_alpha(alpha)
@@ -239,6 +283,12 @@ class BreakevenOraclePolicy(SleepPolicy):
 
     def outcome_key(self):
         return ("BreakevenOracle", self.threshold)
+
+    def sleeps_at(self, elapsed: int) -> bool:
+        # Consistent with on_interval once the elapsed time itself
+        # exceeds the threshold; moot for stalls since the oracle
+        # pre-wakes (wakeup_free).
+        return elapsed > self.threshold
 
 
 class PredictiveSleepPolicy(SleepPolicy):
@@ -288,6 +338,12 @@ class PredictiveSleepPolicy(SleepPolicy):
             uncontrolled_idle=float(interval), sleep=0.0, transitions=0.0
         )
 
+    def sleeps_at(self, elapsed: int) -> bool:
+        # The decision is made at idle onset from the prediction; the
+        # prediction is only updated when the interval closes
+        # (on_interval), so mid-interval queries see the onset decision.
+        return self.prediction > self.threshold
+
 
 class TimeoutSleepPolicy(SleepPolicy):
     """Wait ``timeout`` uncontrolled cycles, then sleep for the remainder.
@@ -326,6 +382,9 @@ class TimeoutSleepPolicy(SleepPolicy):
 
     def outcome_key(self):
         return ("TimeoutSleep", self.timeout)
+
+    def sleeps_at(self, elapsed: int) -> bool:
+        return elapsed > self.timeout
 
 
 @dataclass(frozen=True)

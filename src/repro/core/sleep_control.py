@@ -1,0 +1,209 @@
+"""Online sleep control: the closed-loop counterpart of :mod:`policies`.
+
+The open-loop study replays recorded idle-interval histograms through a
+:class:`~repro.core.policies.SleepPolicy` after the simulation finished,
+so sleep decisions can never affect timing. Closed-loop simulation turns
+the same policies into *runtime controllers*: the functional-unit pool
+consults a per-unit :class:`SleepController` on every acquire, a sleeping
+unit is unavailable until it pays the technology's wakeup latency, and
+the resulting stalls feed back into issue pressure, IPC, and the very
+idle intervals the policy sees next.
+
+Three pieces live here because both the cpu layer (the pool) and the
+accounting layer (the pricer) need them without importing each other:
+
+* :class:`SleepController` — the protocol the pool drives, plus
+  :class:`PolicyController`, the adapter that turns any ``SleepPolicy``
+  into one (each policy contributes its online schedule via
+  :meth:`~repro.core.policies.SleepPolicy.sleeps_at`);
+* :class:`RuntimeTally` — the per-unit energy-state cycle tallies a
+  closed-loop run produces (the runtime replacement for post-hoc
+  histogram walks), built from the same
+  :class:`~repro.core.policies.IntervalOutcome` semantics the open-loop
+  accountant uses, so a zero-wakeup-latency closed-loop run prices
+  float-for-float identically to the open-loop evaluation;
+* :data:`POLICY_BUILDERS` — the name -> policy registry shared by the
+  sweep engine, the closed-loop runtime spec, and the CLI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Protocol, runtime_checkable
+
+from repro.core.breakeven import breakeven_interval
+from repro.core.parameters import TechnologyParameters
+from repro.core.policies import (
+    AlwaysActivePolicy,
+    BreakevenOraclePolicy,
+    GradualSleepPolicy,
+    IntervalOutcome,
+    MaxSleepPolicy,
+    NoOverheadPolicy,
+    PredictiveSleepPolicy,
+    SleepPolicy,
+    TimeoutSleepPolicy,
+)
+
+
+@runtime_checkable
+class SleepController(Protocol):
+    """What the functional-unit pool needs from a per-unit controller.
+
+    One controller instance drives one functional unit; its methods are
+    called in simulation-time order, so stateful policies (the EWMA
+    predictor) see exactly the per-unit interval stream the open-loop
+    ``run_policy_on_intervals`` walk would replay.
+    """
+
+    #: The policy being driven (used for stateless/stateful dispatch and
+    #: for naming results).
+    policy: SleepPolicy
+
+    @property
+    def wakeup_free(self) -> bool:
+        """Oracle-style controllers pre-wake the unit and never stall."""
+
+    def reset(self) -> None:
+        """Clear cross-interval state (warmup boundary)."""
+
+    def asleep_after(self, elapsed: int) -> bool:
+        """Is the unit in the sleep state after ``elapsed`` idle cycles?
+
+        Queried at acquire time for an interval still in progress —
+        ``elapsed`` counts whole idle cycles since the unit's last busy
+        span ended.
+        """
+
+    def close_interval(self, length: int) -> IntervalOutcome:
+        """Account a completed idle interval of ``length`` cycles."""
+
+
+class PolicyController:
+    """The online controller adapter every :class:`SleepPolicy` gains.
+
+    ``asleep_after`` defers to the policy's
+    :meth:`~repro.core.policies.SleepPolicy.sleeps_at` schedule;
+    ``close_interval`` defers to ``on_interval``, so the energy outcome
+    of every interval is — by construction — exactly what the open-loop
+    evaluation of the same interval produces.
+    """
+
+    __slots__ = ("policy",)
+
+    def __init__(self, policy: SleepPolicy):
+        self.policy = policy
+
+    @property
+    def wakeup_free(self) -> bool:
+        return self.policy.wakeup_free
+
+    def reset(self) -> None:
+        self.policy.reset()
+
+    def asleep_after(self, elapsed: int) -> bool:
+        if elapsed < 1:
+            # A unit cannot have entered sleep before one full idle cycle.
+            return False
+        return self.policy.sleeps_at(elapsed)
+
+    def close_interval(self, length: int) -> IntervalOutcome:
+        return self.policy.on_interval(length)
+
+
+@dataclass
+class RuntimeTally:
+    """Per-unit energy-state cycle tallies of one closed-loop run.
+
+    ``active``/``waking``/``awake_wait`` are integral cycle counts kept
+    by the pool's power-state machine; ``uncontrolled_idle``, ``sleep``,
+    and ``transitions`` are sums of per-interval
+    :class:`~repro.core.policies.IntervalOutcome` components (fractional
+    for GradualSleep). ``awake_wait`` counts cycles a freshly-woken unit
+    spent waiting to be re-acquired; both it and ``waking`` are priced at
+    the uncontrolled-idle leakage rate (the unit is powered but does no
+    useful work).
+    """
+
+    active: int = 0
+    uncontrolled_idle: float = 0.0
+    sleep: float = 0.0
+    transitions: float = 0.0
+    #: Integral sum of closed idle-interval lengths; kept separately from
+    #: the (possibly fractional) outcome components so denominators match
+    #: the open-loop histogram's integer ``total_idle_cycles`` exactly.
+    controlled_idle: int = 0
+    waking: int = 0
+    awake_wait: int = 0
+    wake_events: int = 0
+
+    def add_outcome(self, length: int, outcome: IntervalOutcome) -> None:
+        self.controlled_idle += length
+        self.uncontrolled_idle += outcome.uncontrolled_idle
+        self.sleep += outcome.sleep
+        self.transitions += outcome.transitions
+
+    @property
+    def idle_cycles(self) -> int:
+        """Every non-busy cycle: policy-controlled idle plus wake overhead."""
+        return self.controlled_idle + self.waking + self.awake_wait
+
+
+PolicyBuilder = Callable[[TechnologyParameters, float], SleepPolicy]
+
+
+def breakeven_timeout(params: TechnologyParameters, alpha: float) -> int:
+    """A break-even-matched timeout; clamped when sleeping never pays."""
+    n_be = breakeven_interval(params, alpha)
+    if math.isinf(n_be):
+        return 10**6
+    return max(1, round(n_be))
+
+
+#: Name -> builder registry shared by the sweep engine, the closed-loop
+#: runtime spec, and the CLIs. Parameterized policies are rebuilt per
+#: (technology, alpha) point; ``PredictiveSleep`` is the one stateful
+#: entry (closed-loop runs and sequence-based accounting only).
+POLICY_BUILDERS: Dict[str, PolicyBuilder] = {
+    "AlwaysActive": lambda params, alpha: AlwaysActivePolicy(),
+    "MaxSleep": lambda params, alpha: MaxSleepPolicy(),
+    "NoOverhead": lambda params, alpha: NoOverheadPolicy(),
+    "GradualSleep": lambda params, alpha: GradualSleepPolicy.for_technology(
+        params, alpha
+    ),
+    "BreakevenOracle": lambda params, alpha: BreakevenOraclePolicy(params, alpha),
+    "TimeoutSleep": lambda params, alpha: TimeoutSleepPolicy(
+        timeout=breakeven_timeout(params, alpha)
+    ),
+    "PredictiveSleep": lambda params, alpha: PredictiveSleepPolicy(params, alpha),
+}
+
+
+def build_policy(
+    name: str, params: TechnologyParameters, alpha: float
+) -> SleepPolicy:
+    """Instantiate a registered policy for one (technology, alpha) point."""
+    try:
+        builder = POLICY_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(POLICY_BUILDERS))
+        raise ValueError(f"unknown sleep policy {name!r}; known: {known}") from None
+    return builder(params, alpha)
+
+
+def build_controllers(
+    name: str, params: TechnologyParameters, alpha: float, num_units: int
+) -> List[PolicyController]:
+    """One independent controller (own policy instance) per functional unit.
+
+    Each unit gets its own policy object so stateful predictors track
+    per-unit interval streams, exactly as the open-loop accountant
+    evaluates each unit's sequence with a freshly-reset policy.
+    """
+    if num_units < 1:
+        raise ValueError(f"need >= 1 unit, got {num_units}")
+    return [
+        PolicyController(build_policy(name, params, alpha))
+        for _ in range(num_units)
+    ]

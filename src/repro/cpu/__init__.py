@@ -16,13 +16,17 @@ that machine from scratch:
   DESIGN.md, Substitutions),
 * :mod:`repro.cpu.fu` — the integer FU pool with round-robin allocation
   and per-unit idle-interval tracking,
+* :mod:`repro.cpu.sleep` — the closed-loop sleep-controller runtime
+  (per-unit power states, wakeup latency, energy-state tallies),
 * :mod:`repro.cpu.pipeline` — fetch/rename/issue/execute/commit timing,
 * :mod:`repro.cpu.simulator` — the façade the experiments drive.
 """
 
 from repro.cpu.config import MachineConfig
+from repro.cpu.fu import PowerState
 from repro.cpu.isa import OpClass
 from repro.cpu.simulator import SimulationResult, Simulator, simulate_workload
+from repro.cpu.sleep import ControlledFunctionalUnitPool, SleepRuntimeSpec
 from repro.cpu.trace import TraceInstruction
 from repro.cpu.workloads import (
     BENCHMARKS,
@@ -34,10 +38,13 @@ from repro.cpu.workloads import (
 
 __all__ = [
     "BENCHMARKS",
+    "ControlledFunctionalUnitPool",
     "MachineConfig",
     "OpClass",
+    "PowerState",
     "SimulationResult",
     "Simulator",
+    "SleepRuntimeSpec",
     "TraceInstruction",
     "WorkloadProfile",
     "benchmark_names",

@@ -6,13 +6,29 @@ functional unit" — this module is exactly that bookkeeping. A unit is
 *busy* on every cycle it is executing an operation (multi-cycle ops such
 as integer multiply hold their unit for the full latency); every maximal
 gap between busy spans is an idle interval.
+
+Each unit moves through the :class:`PowerState` machine: ``ACTIVE``
+while executing, ``IDLE`` (clock-gated, uncontrolled) between busy
+spans. The sleep-oblivious pool here never enters the ``ASLEEP`` or
+``WAKING`` states; the closed-loop subclass in :mod:`repro.cpu.sleep`
+adds them, along with the per-unit energy-state cycle tallies.
 """
 
 from __future__ import annotations
 
+from enum import Enum
 from typing import List, Optional
 
 from repro.util.intervals import IntervalHistogram
+
+
+class PowerState(Enum):
+    """Per-unit power state of the acquire-path state machine."""
+
+    ACTIVE = "active"
+    IDLE = "idle"  # uncontrolled (clock-gated only)
+    ASLEEP = "asleep"
+    WAKING = "waking"
 
 
 class FunctionalUnitPool:
@@ -34,6 +50,10 @@ class FunctionalUnitPool:
         self.histograms = [IntervalHistogram() for _ in range(num_units)]
         self.interval_sequences: List[List[int]] = [[] for _ in range(num_units)]
         self._finalized = False
+        #: Set by :meth:`acquire` when the last failed call would have
+        #: succeeded but for units being asleep or waking. Always False
+        #: for the sleep-oblivious pool.
+        self.blocked_on_wakeup = False
 
     def acquire(self, cycle: int, duration: int) -> Optional[int]:
         """Claim a free unit for ``duration`` cycles starting at ``cycle``.
@@ -85,6 +105,17 @@ class FunctionalUnitPool:
     def any_free(self, cycle: int) -> bool:
         """Is at least one unit free at ``cycle``?"""
         return any(until <= cycle for until in self._busy_until)
+
+    def power_state(self, unit: int, cycle: int) -> PowerState:
+        """The unit's power state at ``cycle`` (sleep-oblivious: two states)."""
+        if self._busy_until[unit] > cycle:
+            return PowerState.ACTIVE
+        return PowerState.IDLE
+
+    def next_wake_ready(self) -> Optional[int]:
+        """Earliest cycle a pending wakeup completes; None when no wake
+        is in flight (always, for the sleep-oblivious pool)."""
+        return None
 
     def finalize(self, end_cycle: int) -> None:
         """Close the trailing idle interval of every unit at end of run.

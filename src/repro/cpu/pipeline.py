@@ -19,6 +19,11 @@ Trace-driven approximations (documented in DESIGN.md):
   latency.
 * Stores write the data cache at commit without stalling commit
   (a store buffer is assumed).
+
+With a :class:`~repro.cpu.sleep.SleepRuntimeSpec` the integer FU pool
+runs closed-loop: units sleep under online policy control, an acquire
+that hits a sleeping unit triggers a wakeup and stalls until it
+completes, and those cycles are attributed as ``wakeup_stall_cycles``.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from repro.cpu.config import MachineConfig
 from repro.cpu.fu import FunctionalUnitPool
 from repro.cpu.isa import OpClass
 from repro.cpu.memory import MemoryHierarchy
+from repro.cpu.sleep import SleepRuntimeSpec
 from repro.cpu.stats import FunctionalUnitUsage, SimulationStats
 from repro.cpu.trace import TraceInstruction
 
@@ -97,6 +103,7 @@ class Pipeline:
         trace: Sequence[TraceInstruction],
         config: Optional[MachineConfig] = None,
         record_sequences: bool = True,
+        sleep_spec: Optional[SleepRuntimeSpec] = None,
     ):
         if not trace:
             raise ValueError("cannot simulate an empty trace")
@@ -104,9 +111,18 @@ class Pipeline:
         self.config = config if config is not None else MachineConfig()
         self.memory = MemoryHierarchy.from_machine_config(self.config)
         self.predictor = CombiningPredictor(self.config.branch_predictor)
-        self.int_pool = FunctionalUnitPool(
-            self.config.num_int_fus, record_sequences=record_sequences
-        )
+        self.sleep_spec = sleep_spec
+        if sleep_spec is None:
+            self.int_pool = FunctionalUnitPool(
+                self.config.num_int_fus, record_sequences=record_sequences
+            )
+        else:
+            # Closed-loop: the integer pool's units sleep under online
+            # control and stall acquires on the wakeup latency. The FP
+            # pool stays oblivious (the paper's study is integer FUs).
+            self.int_pool = sleep_spec.build_pool(
+                self.config.num_int_fus, record_sequences=record_sequences
+            )
         self.fp_pool = FunctionalUnitPool(
             self.config.num_fp_fus, record_sequences=False
         )
@@ -137,6 +153,8 @@ class Pipeline:
 
         self.committed = 0
         self.fetch_stall_cycles = 0
+        self.wakeup_stall_cycles = 0
+        self._wakeup_blocked = False
         self._ran = False
         self._measure_start_cycle = 0
         self._committed_at_measure_start = 0
@@ -211,6 +229,7 @@ class Pipeline:
         ready_fp = self._ready_fp
 
         mem_blocked = False
+        self._wakeup_blocked = False
         while issued < width:
             # Pick the globally oldest ready op whose resource class is
             # not exhausted this cycle (oldest-first scheduling).
@@ -238,6 +257,8 @@ class Pipeline:
                 unit = self.int_pool.acquire(cycle, latency)
                 if unit is None:
                     int_blocked = True
+                    if self.int_pool.blocked_on_wakeup:
+                        self._wakeup_blocked = True
                     continue
                 heapq.heappop(ready_int)
                 self._iq_int_free += 1
@@ -251,6 +272,8 @@ class Pipeline:
                 agen_unit = self.int_pool.acquire(cycle, 1)
                 if agen_unit is None:
                     mem_blocked = True
+                    if self.int_pool.blocked_on_wakeup:
+                        self._wakeup_blocked = True
                     continue
                 _, iop = heapq.heappop(ready_mem)
                 ports_left -= 1
@@ -276,6 +299,10 @@ class Pipeline:
                     self._completions, (cycle + _FP_LATENCY, iop.seq, iop)
                 )
             issued += 1
+        if self._wakeup_blocked:
+            # At least one ready op waited only on a sleeping/waking unit
+            # this cycle — the closed-loop performance cost, attributed.
+            self.wakeup_stall_cycles += 1
         return issued > 0
 
     def _dispatch(self) -> bool:
@@ -463,6 +490,7 @@ class Pipeline:
         self.int_pool.reset_statistics(cycle)
         self.fp_pool.reset_statistics(cycle)
         self.fetch_stall_cycles = 0
+        self.wakeup_stall_cycles = 0
         memory = self.memory
         self._counter_snapshot = {
             "branch_lookups": self.predictor.lookups,
@@ -489,6 +517,12 @@ class Pipeline:
         )
         if fetch_possible:
             candidates.append(self._fetch_stalled_until)
+        if self._ready_int or self._ready_mem:
+            # Closed-loop: a pending wakeup completing is an event —
+            # a ready op blocked on it can issue then.
+            wake_ready = self.int_pool.next_wake_ready()
+            if wake_ready is not None:
+                candidates.append(wake_ready)
         if not candidates:
             # Nothing outstanding: only possible if the run is complete,
             # which the caller's loop condition would have caught.
@@ -506,9 +540,16 @@ class Pipeline:
             else:
                 stall_horizon = min(target, self._fetch_stalled_until)
             self.fetch_stall_cycles += max(0, stall_horizon - self.cycle - 1)
+        # Same invariance for wakeup stalls: if this cycle's issue pass
+        # stalled ready ops on a waking unit, every skipped cycle up to
+        # the next event would have stalled identically (pool state
+        # cannot change in between), so account them now.
+        if self._wakeup_blocked:
+            self.wakeup_stall_cycles += max(0, target - self.cycle - 1)
         return max(self.cycle + 1, target)
 
     def _build_stats(self, end_cycle: int) -> SimulationStats:
+        tallies = getattr(self.int_pool, "tallies", None)
         usage = [
             FunctionalUnitUsage(
                 unit_id=unit,
@@ -516,6 +557,7 @@ class Pipeline:
                 operations=self.int_pool.operations[unit],
                 idle_histogram=self.int_pool.histograms[unit],
                 idle_intervals=self.int_pool.interval_sequences[unit],
+                sleep_tally=tallies[unit] if tallies is not None else None,
             )
             for unit in range(self.int_pool.num_units)
         ]
@@ -535,6 +577,7 @@ class Pipeline:
                 - snapshot.get("branch_mispredicts", 0)
             ),
             fetch_stall_cycles=self.fetch_stall_cycles,
+            wakeup_stall_cycles=self.wakeup_stall_cycles,
             cache_accesses={
                 "L1I": memory.l1_icache.accesses - snapshot.get("L1I.a", 0),
                 "L1D": memory.l1_dcache.accesses - snapshot.get("L1D.a", 0),

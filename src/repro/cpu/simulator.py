@@ -24,6 +24,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.cpu.config import MachineConfig
 from repro.cpu.pipeline import Pipeline
+from repro.cpu.sleep import SleepRuntimeSpec
 from repro.cpu.stats import SimulationStats
 from repro.cpu.workloads import WorkloadProfile, generate_trace
 from repro.exec import cache as result_cache
@@ -40,6 +41,10 @@ class SimulationResult:
     seed: int
     config: MachineConfig
     stats: SimulationStats
+    #: Closed-loop sleep runtime of the run; None for sleep-oblivious.
+    sleep: Optional[SleepRuntimeSpec] = None
+    #: Whether per-unit ordered interval sequences were recorded.
+    record_sequences: bool = True
 
     @property
     def ipc(self) -> float:
@@ -54,10 +59,12 @@ class Simulator:
         profile: WorkloadProfile,
         config: Optional[MachineConfig] = None,
         seed: int = 1,
+        sleep: Optional[SleepRuntimeSpec] = None,
     ):
         self.profile = profile
         self.config = config if config is not None else MachineConfig()
         self.seed = seed
+        self.sleep = sleep
 
     def run(
         self,
@@ -73,7 +80,10 @@ class Simulator:
         total = num_instructions + warmup_instructions
         trace = generate_trace(self.profile, total, seed=self.seed)
         pipeline = Pipeline(
-            trace, config=self.config, record_sequences=record_sequences
+            trace,
+            config=self.config,
+            record_sequences=record_sequences,
+            sleep_spec=self.sleep,
         )
         stats = pipeline.run(warmup_instructions=warmup_instructions)
         return SimulationResult(
@@ -83,6 +93,8 @@ class Simulator:
             seed=self.seed,
             config=self.config,
             stats=stats,
+            sleep=self.sleep,
+            record_sequences=record_sequences,
         )
 
 
@@ -95,10 +107,21 @@ def _memo_key(
     warmup_instructions: int,
     seed: int,
     config: MachineConfig,
+    sleep: Optional[SleepRuntimeSpec],
+    record_sequences: bool,
 ) -> Tuple:
     # The full (frozen, hashable) profile, not just its name, so two
-    # distinct custom profiles sharing a name cannot collide.
-    return (profile, num_instructions, warmup_instructions, seed, config)
+    # distinct custom profiles sharing a name cannot collide. The sleep
+    # spec keeps closed-loop results apart from sleep-oblivious ones.
+    return (
+        profile,
+        num_instructions,
+        warmup_instructions,
+        seed,
+        config,
+        sleep,
+        record_sequences,
+    )
 
 
 def cached_result(
@@ -107,6 +130,8 @@ def cached_result(
     config: Optional[MachineConfig] = None,
     seed: int = 1,
     warmup_instructions: int = 0,
+    sleep: Optional[SleepRuntimeSpec] = None,
+    record_sequences: bool = True,
 ) -> Optional[SimulationResult]:
     """Look a simulation up through both cache layers without running it.
 
@@ -115,7 +140,15 @@ def cached_result(
     """
     if config is None:
         config = MachineConfig()
-    key = _memo_key(profile, num_instructions, warmup_instructions, seed, config)
+    key = _memo_key(
+        profile,
+        num_instructions,
+        warmup_instructions,
+        seed,
+        config,
+        sleep,
+        record_sequences,
+    )
     hit = _MEMO.get(key)
     if hit is not None:
         return hit
@@ -123,7 +156,15 @@ def cached_result(
     if persistent is None:
         return None
     stored = persistent.get(
-        simulation_key(profile, num_instructions, warmup_instructions, seed, config)
+        simulation_key(
+            profile,
+            num_instructions,
+            warmup_instructions,
+            seed,
+            config,
+            sleep=sleep,
+            record_sequences=record_sequences,
+        )
     )
     if isinstance(stored, SimulationResult):
         _MEMO[key] = stored
@@ -141,6 +182,8 @@ def store_result(
         result.warmup_instructions,
         result.seed,
         result.config,
+        result.sleep,
+        result.record_sequences,
     )
     _MEMO[key] = result
     if not persist:
@@ -156,6 +199,8 @@ def store_result(
                 result.warmup_instructions,
                 result.seed,
                 result.config,
+                sleep=result.sleep,
+                record_sequences=result.record_sequences,
             ),
             result,
         )
@@ -179,12 +224,15 @@ def simulate_workload(
     seed: int = 1,
     warmup_instructions: int = 0,
     use_cache: bool = True,
+    sleep: Optional[SleepRuntimeSpec] = None,
+    record_sequences: bool = True,
 ) -> SimulationResult:
     """Run (or reuse) a simulation of ``profile`` on ``config``.
 
     The cache key covers everything that determines the outcome: the
-    profile, window, warmup, seed, and the machine configuration.
-    ``use_cache=False`` bypasses both the memo and the persistent layer.
+    profile, window, warmup, seed, the machine configuration, and — for
+    closed-loop runs — the sleep runtime spec. ``use_cache=False``
+    bypasses both the memo and the persistent layer.
     """
     if config is None:
         config = MachineConfig()
@@ -195,11 +243,15 @@ def simulate_workload(
             config=config,
             seed=seed,
             warmup_instructions=warmup_instructions,
+            sleep=sleep,
+            record_sequences=record_sequences,
         )
         if hit is not None:
             return hit
-    result = Simulator(profile, config=config, seed=seed).run(
-        num_instructions, warmup_instructions=warmup_instructions
+    result = Simulator(profile, config=config, seed=seed, sleep=sleep).run(
+        num_instructions,
+        warmup_instructions=warmup_instructions,
+        record_sequences=record_sequences,
     )
     if use_cache:
         store_result(profile, result)

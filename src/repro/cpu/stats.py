@@ -10,8 +10,9 @@ validation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.core.sleep_control import RuntimeTally
 from repro.util.intervals import IntervalHistogram
 
 
@@ -24,9 +25,18 @@ class FunctionalUnitUsage:
     operations: int
     idle_histogram: IntervalHistogram
     idle_intervals: List[int] = field(default_factory=list)
+    #: Energy-state cycle tallies of a closed-loop (sleep-controlled)
+    #: run; None for sleep-oblivious simulations.
+    sleep_tally: Optional[RuntimeTally] = None
 
     def idle_cycles(self) -> int:
         return self.idle_histogram.total_idle_cycles
+
+    def not_busy_cycles(self) -> int:
+        """Idle plus (closed-loop only) waking / post-wake wait cycles."""
+        if self.sleep_tally is None:
+            return self.idle_cycles()
+        return self.sleep_tally.idle_cycles
 
     def utilization(self, total_cycles: int) -> float:
         if total_cycles <= 0:
@@ -44,6 +54,10 @@ class SimulationStats:
     branch_lookups: int = 0
     branch_mispredicts: int = 0
     fetch_stall_cycles: int = 0
+    #: Cycles where at least one ready operation could not issue solely
+    #: because every candidate unit was asleep or still waking (closed-
+    #: loop runs only; always 0 for sleep-oblivious simulations).
+    wakeup_stall_cycles: int = 0
     cache_accesses: Dict[str, int] = field(default_factory=dict)
     cache_misses: Dict[str, int] = field(default_factory=dict)
 
@@ -90,9 +104,10 @@ class SimulationStats:
         if self.total_cycles < 0 or self.committed_instructions < 0:
             raise ValueError("negative cycle or instruction count")
         for usage in self.fu_usage:
-            accounted = usage.busy_cycles + usage.idle_cycles()
+            accounted = usage.busy_cycles + usage.not_busy_cycles()
             if accounted != self.total_cycles:
                 raise ValueError(
-                    f"unit {usage.unit_id}: busy {usage.busy_cycles} + idle "
-                    f"{usage.idle_cycles()} != total {self.total_cycles}"
+                    f"unit {usage.unit_id}: busy {usage.busy_cycles} + "
+                    f"not-busy {usage.not_busy_cycles()} != total "
+                    f"{self.total_cycles}"
                 )

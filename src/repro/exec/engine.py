@@ -114,6 +114,8 @@ def run_jobs(
                 config=job.config,
                 seed=job.seed,
                 warmup_instructions=job.warmup_instructions,
+                sleep=job.sleep,
+                record_sequences=job.record_sequences,
             )
             if use_cache
             else None

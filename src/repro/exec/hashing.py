@@ -28,12 +28,24 @@ from typing import Any, Optional
 
 #: Bump when the on-disk entry format changes incompatibly (e.g. a new
 #: pickle layout); this invalidates every existing cache entry at once.
-CACHE_SCHEMA_VERSION = 1
+#: v2: SimulationResult/Stats grew closed-loop fields (sleep spec,
+#: runtime tallies, wakeup stalls).
+CACHE_SCHEMA_VERSION = 2
 
 #: Files whose source determines simulation outcomes, relative to the
-#: ``repro`` package root. ``repro.core`` is deliberately excluded: energy
-#: accounting happens downstream of the cached simulation results.
-_MODEL_SOURCES = ("cpu", "util/rng.py", "util/intervals.py")
+#: ``repro`` package root. Closed-loop runs consult the sleep policies
+#: *during* simulation, so the policy-defining core modules are in; the
+#: downstream-only accounting/vectorization modules stay out.
+_MODEL_SOURCES = (
+    "cpu",
+    "util/rng.py",
+    "util/intervals.py",
+    "core/parameters.py",
+    "core/breakeven.py",
+    "core/gradual.py",
+    "core/policies.py",
+    "core/sleep_control.py",
+)
 
 _fingerprint_cache: Optional[str] = None
 
@@ -107,11 +119,19 @@ def simulation_key(
     warmup_instructions: int,
     seed: int,
     config: Any,
+    sleep: Any = None,
+    record_sequences: bool = True,
 ) -> str:
     """The canonical persistent-cache key for one simulation.
 
     Shared by the simulator façade and the execution engine so both
-    layers address the same cache entries.
+    layers address the same cache entries. ``sleep`` is the closed-loop
+    :class:`~repro.cpu.sleep.SleepRuntimeSpec` (or None for a
+    sleep-oblivious run): folding it in keeps closed-loop entries
+    disjoint from open-loop ones — and from each other across policies,
+    technology points, and wakeup latencies. ``record_sequences``
+    changes what the stored result contains (ordered per-unit interval
+    lists), so it is part of the key too.
     """
     return canonical_key(
         {
@@ -121,5 +141,7 @@ def simulation_key(
             "warmup_instructions": warmup_instructions,
             "seed": seed,
             "config": config,
+            "sleep": sleep,
+            "record_sequences": record_sequences,
         }
     )

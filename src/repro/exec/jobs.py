@@ -11,9 +11,11 @@ worker processes as-is).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.cpu.config import MachineConfig
 from repro.cpu.simulator import SimulationResult, Simulator
+from repro.cpu.sleep import SleepRuntimeSpec
 from repro.cpu.workloads import WorkloadProfile
 from repro.exec.hashing import simulation_key
 
@@ -27,6 +29,11 @@ class SimulationJob:
     warmup_instructions: int = 0
     seed: int = 1
     config: MachineConfig = field(default_factory=MachineConfig)
+    #: Closed-loop sleep runtime; None requests a sleep-oblivious run.
+    sleep: Optional[SleepRuntimeSpec] = None
+    #: Ordered per-unit interval lists are the dominant memory cost on
+    #: long runs; jobs that only need histograms should leave this off.
+    record_sequences: bool = True
 
     def __post_init__(self) -> None:
         if self.num_instructions < 1:
@@ -40,7 +47,12 @@ class SimulationJob:
 
     @classmethod
     def from_scale(
-        cls, profile: WorkloadProfile, scale, config: MachineConfig
+        cls,
+        profile: WorkloadProfile,
+        scale,
+        config: MachineConfig,
+        sleep: Optional[SleepRuntimeSpec] = None,
+        record_sequences: bool = True,
     ) -> "SimulationJob":
         """Build a job from an :class:`~repro.experiments.common.ExperimentScale`."""
         return cls(
@@ -49,6 +61,8 @@ class SimulationJob:
             warmup_instructions=scale.warmup_instructions,
             seed=scale.seed,
             config=config,
+            sleep=sleep,
+            record_sequences=record_sequences,
         )
 
     def cache_key(self) -> str:
@@ -59,10 +73,16 @@ class SimulationJob:
             self.warmup_instructions,
             self.seed,
             self.config,
+            sleep=self.sleep,
+            record_sequences=self.record_sequences,
         )
 
     def run(self) -> SimulationResult:
         """Execute the simulation directly, bypassing every cache layer."""
-        return Simulator(self.profile, config=self.config, seed=self.seed).run(
-            self.num_instructions, warmup_instructions=self.warmup_instructions
+        return Simulator(
+            self.profile, config=self.config, seed=self.seed, sleep=self.sleep
+        ).run(
+            self.num_instructions,
+            warmup_instructions=self.warmup_instructions,
+            record_sequences=self.record_sequences,
         )

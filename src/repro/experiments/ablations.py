@@ -249,7 +249,11 @@ def predictive_policy(
     """Test the paper's claim that complex control is not warranted."""
     params = TechnologyParameters(leakage_factor_p=p)
     names = list(benchmarks) if benchmarks else None
-    data = collect_benchmark_data(scale=scale, benchmarks=names)
+    # The EWMA predictor is stateful: it must replay each unit's ordered
+    # interval stream, so this (and only this) ablation keeps sequences.
+    data = collect_benchmark_data(
+        scale=scale, benchmarks=names, record_sequences=True
+    )
     n_be = max(1, round(breakeven_interval(params, alpha)))
     policies = paper_policy_suite(params, alpha) + [
         PredictiveSleepPolicy(params, alpha),

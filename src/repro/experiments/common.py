@@ -175,11 +175,17 @@ def benchmark_jobs(
     l2_latency: Optional[int] = None,
     benchmarks: Optional[Iterable[str]] = None,
     fu_override: Optional[int] = None,
+    record_sequences: bool = False,
 ) -> List[SimulationJob]:
     """The simulation batch behind :func:`collect_benchmark_data`.
 
     Exposed separately so the runner can enumerate and prewarm every
-    experiment's jobs as one deduplicated batch.
+    experiment's jobs as one deduplicated batch. Ordered interval
+    sequences default to off: every figure/table/sweep consumer prices
+    stateless policies from histograms, and the sequence lists are the
+    dominant memory cost of long simulations. Pass
+    ``record_sequences=True`` where ordered streams are really needed
+    (stateful-policy accounting, closed-loop cross-validation).
     """
     names = list(benchmarks) if benchmarks is not None else benchmark_names()
     base_config = MachineConfig()
@@ -191,7 +197,10 @@ def benchmark_jobs(
         num_fus = fu_override if fu_override is not None else profile.reference_fus
         jobs.append(
             SimulationJob.from_scale(
-                profile, scale, base_config.with_int_fus(num_fus)
+                profile,
+                scale,
+                base_config.with_int_fus(num_fus),
+                record_sequences=record_sequences,
             )
         )
     return jobs
@@ -204,6 +213,7 @@ def collect_benchmark_data(
     fu_override: Optional[int] = None,
     jobs: Optional[int] = None,
     use_cache: bool = True,
+    record_sequences: bool = False,
 ) -> List[BenchmarkEnergyData]:
     """Simulate the suite at each benchmark's Table 3 FU count.
 
@@ -219,6 +229,7 @@ def collect_benchmark_data(
         l2_latency=l2_latency,
         benchmarks=benchmarks,
         fu_override=fu_override,
+        record_sequences=record_sequences,
     )
     results = run_jobs(batch, workers=jobs, use_cache=use_cache)
     return [

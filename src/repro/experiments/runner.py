@@ -67,6 +67,10 @@ def enumerate_jobs(scale: ExperimentScale) -> List[SimulationJob]:
     jobs.extend(table3.sweep_jobs(scale=scale))
     # Figures 8/9 and most ablations: the suite at reference FU counts.
     jobs.extend(benchmark_jobs(scale=scale))
+    # The predictive-policy ablation replays ordered interval streams, so
+    # it needs the reference suite with sequences recorded (a separate
+    # cache entry from the histogram-only batch above).
+    jobs.extend(benchmark_jobs(scale=scale, record_sequences=True))
     # Figure 7 and the L2-latency ablation: L2 hit-latency variants.
     latencies = set(figure7.L2_LATENCIES) | set(ablations.ABLATION_L2_LATENCIES)
     for latency in sorted(latencies):

@@ -18,22 +18,13 @@ views over the same engine (their grids are 2x3 and 20x1 slices of it).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.breakeven import breakeven_interval
 from repro.core.parameters import TechnologyParameters, check_alpha
+from repro.core.sleep_control import POLICY_BUILDERS, breakeven_timeout
 from repro.core.vectorized import CellPricer
-from repro.core.policies import (
-    AlwaysActivePolicy,
-    BreakevenOraclePolicy,
-    GradualSleepPolicy,
-    MaxSleepPolicy,
-    NoOverheadPolicy,
-    SleepPolicy,
-    TimeoutSleepPolicy,
-)
+from repro.core.policies import SleepPolicy
 from repro.experiments.common import (
     DEFAULT_SCALE,
     BenchmarkEnergyData,
@@ -47,27 +38,17 @@ from repro.util.tables import format_table
 
 PolicyFactory = Callable[[TechnologyParameters, float], SleepPolicy]
 
+#: Break-even-matched timeout helper (kept under its historical name).
+_timeout_for = breakeven_timeout
 
-def _timeout_for(params: TechnologyParameters, alpha: float) -> int:
-    """A break-even-matched timeout; clamped when sleeping never pays."""
-    n_be = breakeven_interval(params, alpha)
-    if math.isinf(n_be):
-        return 10**6
-    return max(1, round(n_be))
-
-
-#: Stateless policies the sweep engine knows how to build per grid cell.
+#: Stateless policies the sweep engine knows how to build per grid cell —
+#: the shared :data:`repro.core.sleep_control.POLICY_BUILDERS` registry
+#: minus its stateful entries, which have no histogram closed form (the
+#: closed-loop ``repro perf`` path evaluates those).
 POLICY_FACTORIES: Dict[str, PolicyFactory] = {
-    "AlwaysActive": lambda params, alpha: AlwaysActivePolicy(),
-    "MaxSleep": lambda params, alpha: MaxSleepPolicy(),
-    "NoOverhead": lambda params, alpha: NoOverheadPolicy(),
-    "GradualSleep": lambda params, alpha: GradualSleepPolicy.for_technology(
-        params, alpha
-    ),
-    "BreakevenOracle": lambda params, alpha: BreakevenOraclePolicy(params, alpha),
-    "TimeoutSleep": lambda params, alpha: TimeoutSleepPolicy(
-        timeout=_timeout_for(params, alpha)
-    ),
+    name: builder
+    for name, builder in POLICY_BUILDERS.items()
+    if name != "PredictiveSleep"
 }
 
 #: Figure 8/9's bar order — the default sweep suite.

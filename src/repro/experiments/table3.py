@@ -70,8 +70,15 @@ def sweep_jobs(
     """The (benchmark x FU count) simulation batch behind :func:`run`."""
     names = list(benchmarks) if benchmarks else benchmark_names()
     base = MachineConfig()
+    # Sequences off: Table 3 only needs IPC, and this keeps the batch
+    # deduplicating against the histogram-only figure/sweep jobs.
     return [
-        SimulationJob.from_scale(get_benchmark(name), scale, base.with_int_fus(count))
+        SimulationJob.from_scale(
+            get_benchmark(name),
+            scale,
+            base.with_int_fus(count),
+            record_sequences=False,
+        )
         for name in names
         for count in fu_range
     ]

@@ -85,3 +85,49 @@ class TestMain:
         out = capsys.readouterr().out
         assert "p=0.05" in out
         assert cache.active() is None
+
+
+class TestPerfSubcommand:
+    def test_perf_flags_parse(self):
+        args = cli.build_parser().parse_args(
+            [
+                "perf",
+                "--policies",
+                "MaxSleep",
+                "--wakeup-latencies",
+                "0,2,8",
+                "--p-grid",
+                "0.05,0.5",
+                "--alpha",
+                "0.25",
+            ]
+        )
+        assert args.experiment == "perf"
+        assert args.policies == "MaxSleep"
+        assert args.wakeup_latencies == "0,2,8"
+        assert args.alpha == 0.25
+
+    def test_perf_listed(self, capsys):
+        assert cli.main(["list"]) == 0
+        assert "perf" in capsys.readouterr().out.split()
+
+    def test_perf_quick_renders_frontier(self, capsys, restore_engine_state):
+        assert (
+            cli.main(
+                [
+                    "perf",
+                    "--quick",
+                    "--benchmarks",
+                    "gzip",
+                    "--policies",
+                    "MaxSleep,GradualSleep",
+                    "--wakeup-latencies",
+                    "0,4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "frontier" in out
+        assert "MaxSleep" in out and "GradualSleep" in out
+        assert "wakeup latency 4 cycles" in out

@@ -127,3 +127,37 @@ class TestEvaluateMany:
         )
         assert results["NoOverhead"].total_energy <= results["MaxSleep"].total_energy
         assert results["MaxSleep"].total_energy < results["AlwaysActive"].total_energy
+
+
+class TestStatefulSequenceGuards:
+    """A stateful policy must never be priced on a silently-empty stream."""
+
+    def _params(self):
+        return TechnologyParameters(leakage_factor_p=0.5)
+
+    def test_empty_sequence_with_idle_histogram_rejected(self):
+        """record_sequences=False yields [] (not None); the guard must
+        still fire, or the policy prices zero idle cycles without error."""
+        params = self._params()
+        histogram = IntervalHistogram()
+        histogram.extend([5, 40, 7])
+        accountant = EnergyAccountant(params, 0.5)
+        with pytest.raises(ValueError, match="record_sequences"):
+            accountant.evaluate_many(
+                [PredictiveSleepPolicy(params, 0.5)],
+                100,
+                histogram,
+                interval_sequence=[],
+            )
+
+    def test_never_idle_unit_accepts_empty_sequence(self):
+        """No idle intervals at all is consistent, not an error."""
+        params = self._params()
+        accountant = EnergyAccountant(params, 0.5)
+        result = accountant.evaluate_many(
+            [PredictiveSleepPolicy(params, 0.5)],
+            100,
+            IntervalHistogram(),
+            interval_sequence=[],
+        )
+        assert list(result.values())[0].counts.sleep == 0.0

@@ -166,3 +166,155 @@ class TestPaperPolicySuite:
         assert names[1].startswith("GradualSleep")
         assert names[2] == "AlwaysActive"
         assert names[3] == "NoOverhead"
+
+
+class TestOnlineSchedules:
+    """The closed-loop adapter surface every policy gained."""
+
+    def test_always_active_never_sleeps(self):
+        assert not AlwaysActivePolicy().sleeps_at(10**6)
+
+    def test_boundary_policies_sleep_immediately(self):
+        assert MaxSleepPolicy().sleeps_at(1)
+        assert NoOverheadPolicy().sleeps_at(1)
+        assert GradualSleepPolicy(GradualSleepDesign(4)).sleeps_at(1)
+
+    def test_timeout_schedule_matches_outcome(self):
+        policy = TimeoutSleepPolicy(timeout=5)
+        for elapsed in range(1, 12):
+            # Asleep at the end of an interval of length `elapsed` iff
+            # on_interval bills a trailing sleep span of that length.
+            assert policy.sleeps_at(elapsed) == (
+                policy.on_interval(elapsed).sleep > 0
+            )
+
+    def test_predictive_schedule_is_onset_decision(self, params):
+        policy = PredictiveSleepPolicy(params, 0.5, initial_prediction=1000.0)
+        assert policy.sleeps_at(1)
+        # The prediction only moves when the interval closes.
+        assert policy.sleeps_at(500)
+        # The prediction decays toward the observed short intervals only
+        # as intervals close; once it crosses the threshold the onset
+        # decision flips.
+        for _ in range(20):
+            policy.on_interval(1)
+        assert not policy.sleeps_at(1)
+
+    def test_wakeup_free_flags(self, params):
+        assert NoOverheadPolicy().wakeup_free
+        assert BreakevenOraclePolicy(params, 0.5).wakeup_free
+        for policy in (
+            AlwaysActivePolicy(),
+            MaxSleepPolicy(),
+            GradualSleepPolicy(GradualSleepDesign(4)),
+            TimeoutSleepPolicy(3),
+            PredictiveSleepPolicy(params, 0.5),
+        ):
+            assert not policy.wakeup_free
+
+
+class TestPolicyEdgeCases:
+    """Satellite coverage: boundaries where policies can silently drift."""
+
+    def test_timeout_zero_equals_max_sleep(self, params):
+        """TimeoutSleep(0) must be MaxSleep: no uncontrolled prefix at all."""
+        timeout = TimeoutSleepPolicy(timeout=0)
+        max_sleep = MaxSleepPolicy()
+        for interval in range(1, 200):
+            a = timeout.on_interval(interval)
+            b = max_sleep.on_interval(interval)
+            assert (a.uncontrolled_idle, a.sleep, a.transitions) == (
+                b.uncontrolled_idle,
+                b.sleep,
+                b.transitions,
+            )
+            assert timeout.sleeps_at(interval) == max_sleep.sleeps_at(interval)
+
+    def test_oracle_at_exact_breakeven_threshold(self):
+        """An interval exactly at the threshold must NOT sleep (strict >):
+        at break-even the energies tie, and staying awake avoids the
+        (unmodeled, in open loop) performance risk."""
+        # k = e_ovh = 0 makes the threshold land exactly on an integer:
+        # n_be = (1 - a) / (p * (1 - a)) = 1 / p = 2.0.
+        exact = TechnologyParameters(
+            leakage_factor_p=0.5, sleep_ratio_k=0.0, sleep_overhead=0.0
+        )
+        threshold = breakeven_interval(exact, 0.5)
+        assert threshold == 2.0
+        oracle = BreakevenOraclePolicy(exact, 0.5)
+        at = oracle.on_interval(2)
+        assert at.sleep == 0 and at.uncontrolled_idle == 2
+        above = oracle.on_interval(3)
+        assert above.sleep == 3 and above.transitions == 1
+
+    def test_timeout_at_exact_timeout_boundary(self):
+        policy = TimeoutSleepPolicy(timeout=7)
+        boundary = policy.on_interval(7)
+        assert boundary.sleep == 0 and boundary.transitions == 0
+        past = policy.on_interval(8)
+        assert past.uncontrolled_idle == 7 and past.sleep == 1
+
+    @pytest.mark.parametrize("interval", list(range(1, 60)) + [127, 1024, 8191])
+    def test_interval_outcome_conservation_all_policies(self, params, interval):
+        """uncontrolled + sleep == interval, exactly, for every policy."""
+        policies = [
+            AlwaysActivePolicy(),
+            MaxSleepPolicy(),
+            NoOverheadPolicy(),
+            GradualSleepPolicy.for_technology(params, 0.5),
+            GradualSleepPolicy(GradualSleepDesign(3)),
+            BreakevenOraclePolicy(params, 0.5),
+            TimeoutSleepPolicy(timeout=0),
+            TimeoutSleepPolicy(timeout=13),
+            PredictiveSleepPolicy(params, 0.5),
+            PredictiveSleepPolicy(params, 0.5, initial_prediction=500.0),
+        ]
+        for policy in policies:
+            outcome = policy.on_interval(interval)
+            assert outcome.uncontrolled_idle + outcome.sleep == float(interval), (
+                policy.name,
+                interval,
+            )
+
+
+class TestStatefulPolicyReset:
+    """Satellite regression: stale predictor state must never leak."""
+
+    def test_back_to_back_evaluations_identical(self, params):
+        from repro.core.accounting import EnergyAccountant
+
+        intervals = [3, 40, 2, 90, 1, 55, 7]
+        policy = PredictiveSleepPolicy(params, 0.5)
+        accountant = EnergyAccountant(params, 0.5)
+        first = accountant.evaluate_sequence(policy, 100, intervals)
+        second = accountant.evaluate_sequence(policy, 100, intervals)
+        assert first.counts == second.counts
+        assert first.total_energy == second.total_energy
+
+    def test_evaluate_many_resets_stale_state(self, params):
+        from repro.core.accounting import EnergyAccountant
+        from repro.util.intervals import IntervalHistogram
+
+        intervals = [3, 40, 2, 90]
+        histogram = IntervalHistogram()
+        histogram.extend(intervals)
+        policy = PredictiveSleepPolicy(params, 0.5)
+        accountant = EnergyAccountant(params, 0.5)
+        clean = accountant.evaluate_many(
+            [policy], 100, histogram, interval_sequence=intervals
+        )[policy.name]
+        # Poison the cross-interval state; a defensive reset must erase it.
+        policy.prediction = 1e9
+        dirty = accountant.evaluate_many(
+            [policy], 100, histogram, interval_sequence=intervals
+        )[policy.name]
+        assert clean.counts == dirty.counts
+        assert clean.total_energy == dirty.total_energy
+
+    def test_run_policy_on_intervals_resets(self, params):
+        policy = PredictiveSleepPolicy(params, 0.5)
+        policy.prediction = 1e9
+        run = run_policy_on_intervals(policy, [2, 2, 2], params, 0.5, 10)
+        # A fresh policy never sleeps on short intervals; the poisoned
+        # prediction would have slept all of them.
+        assert run.counts.sleep == 0

@@ -1,0 +1,220 @@
+"""Unit tests for the closed-loop sleep-controller runtime pool.
+
+Scripted acquire sequences against :class:`ControlledFunctionalUnitPool`
+pin down the power-state machine: when wakes trigger, how long they
+stall, and how the energy-state tallies conserve cycles.
+"""
+
+import pytest
+
+from repro.core.parameters import TechnologyParameters
+from repro.core.policies import IntervalOutcome
+from repro.core.sleep_control import (
+    POLICY_BUILDERS,
+    PolicyController,
+    RuntimeTally,
+    build_controllers,
+    build_policy,
+)
+from repro.cpu.fu import PowerState
+from repro.cpu.sleep import ControlledFunctionalUnitPool, SleepRuntimeSpec
+
+PARAMS = TechnologyParameters(leakage_factor_p=0.5)
+
+
+def make_pool(policy="MaxSleep", units=1, latency=3, alpha=0.5):
+    spec = SleepRuntimeSpec(
+        policy=policy, leakage_factor_p=0.5, alpha=alpha, wakeup_latency=latency
+    )
+    return spec.build_pool(units)
+
+
+class TestSleepRuntimeSpec:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown sleep policy"):
+            SleepRuntimeSpec(policy="Nope")
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError, match="wakeup latency"):
+            SleepRuntimeSpec(policy="MaxSleep", wakeup_latency=-1)
+
+    def test_builds_one_controller_per_unit(self):
+        pool = make_pool(units=3)
+        assert isinstance(pool, ControlledFunctionalUnitPool)
+        assert len(pool.controllers) == 3
+        # Independent policy objects, not one shared instance.
+        assert len({id(c.policy) for c in pool.controllers}) == 3
+
+    def test_registry_covers_stateful_policies(self):
+        assert "PredictiveSleep" in POLICY_BUILDERS
+        policy = build_policy("PredictiveSleep", PARAMS, 0.5)
+        assert not policy.stateless
+
+
+class TestWakeupMechanics:
+    def test_sleeping_unit_stalls_until_wakeup_paid(self):
+        pool = make_pool(latency=3)
+        assert pool.acquire(0, 1) == 0  # busy [0, 1)
+        # Idle from 1; MaxSleep is asleep from the first idle cycle.
+        assert pool.power_state(0, 5) == PowerState.ASLEEP
+        assert pool.acquire(5, 1) is None  # triggers wake, ready at 8
+        assert pool.blocked_on_wakeup
+        assert pool.power_state(0, 5) == PowerState.WAKING
+        assert pool.next_wake_ready() == 8
+        assert pool.acquire(6, 1) is None
+        assert pool.acquire(7, 1) is None
+        assert pool.blocked_on_wakeup
+        assert pool.acquire(8, 1) == 0
+        assert not pool.blocked_on_wakeup
+        pool.finalize(9)
+        tally = pool.tallies[0]
+        # Interval [1, 5) closed at the wake trigger; 3 waking cycles.
+        assert pool.histograms[0].counts == {4: 1}
+        assert tally.sleep == 4.0 and tally.transitions == 1.0
+        assert tally.waking == 3 and tally.awake_wait == 0
+        assert tally.wake_events == 1
+        assert tally.active == 2
+        # Conservation over [0, 9): 2 busy + 4 idle + 3 waking.
+        assert tally.active + tally.idle_cycles == 9
+
+    def test_awake_wait_between_wake_completion_and_claim(self):
+        pool = make_pool(latency=2)
+        assert pool.acquire(0, 1) == 0
+        assert pool.acquire(4, 1) is None  # wake ready at 6
+        assert pool.acquire(9, 1) == 0  # claimed 3 cycles after ready
+        pool.finalize(10)
+        tally = pool.tallies[0]
+        assert tally.waking == 2
+        assert tally.awake_wait == 3
+        assert pool.histograms[0].counts == {3: 1}
+        assert tally.active + tally.idle_cycles == 10
+
+    def test_zero_latency_never_stalls(self):
+        pool = make_pool(latency=0)
+        assert pool.acquire(0, 1) == 0
+        assert pool.acquire(5, 1) == 0  # asleep but instantly available
+        assert not pool.blocked_on_wakeup
+        pool.finalize(6)
+        tally = pool.tallies[0]
+        assert tally.waking == 0 and tally.awake_wait == 0
+        assert tally.wake_events == 0
+        assert pool.histograms[0].counts == {4: 1}
+        assert tally.sleep == 4.0 and tally.transitions == 1.0
+
+    def test_wakeup_free_policy_never_stalls(self):
+        pool = make_pool(policy="NoOverhead", latency=5)
+        assert pool.acquire(0, 1) == 0
+        assert pool.acquire(7, 1) == 0
+        assert not pool.blocked_on_wakeup
+        pool.finalize(8)
+        assert pool.tallies[0].wake_events == 0
+        assert pool.tallies[0].sleep == 6.0
+        assert pool.tallies[0].transitions == 0.0
+
+    def test_always_active_units_never_sleep(self):
+        pool = make_pool(policy="AlwaysActive", latency=5)
+        assert pool.acquire(0, 1) == 0
+        assert pool.power_state(0, 3) == PowerState.IDLE
+        assert pool.acquire(9, 1) == 0
+        pool.finalize(10)
+        tally = pool.tallies[0]
+        assert tally.sleep == 0.0 and tally.uncontrolled_idle == 8.0
+        assert tally.wake_events == 0
+
+    def test_awake_unit_preferred_over_waking_one(self):
+        pool = make_pool(units=2, latency=4)
+        assert pool.acquire(0, 1) == 0
+        assert pool.acquire(0, 10) == 1  # unit 1 busy through cycle 10
+        # Unit 0 asleep at 5; acquire triggers its wake.
+        assert pool.acquire(5, 1) is None
+        # Unit 1 frees at 10 (awake, elapsed 0): claimed directly even
+        # though unit 0 finished waking at 9 — round-robin scan order
+        # starts past unit 0 only if the pointer says so; both are
+        # claimable, so something is granted.
+        granted = pool.acquire(10, 1)
+        assert granted is not None
+
+    def test_serialized_wakes_one_in_flight(self):
+        pool = make_pool(units=2, latency=4)
+        assert pool.acquire(0, 1) == 0
+        assert pool.acquire(0, 1) == 1
+        # Both units asleep at 6; concurrent wake demand serializes —
+        # the second failed acquire rides the wake already in flight.
+        assert pool.acquire(6, 1) is None
+        assert pool.acquire(6, 1) is None
+        waking = [
+            unit
+            for unit in range(2)
+            if pool.power_state(unit, 6) == PowerState.WAKING
+        ]
+        assert len(waking) == 1
+
+    def test_timeout_policy_awake_within_timeout(self):
+        pool = make_pool(policy="TimeoutSleep", latency=3)
+        timeout = pool.controllers[0].policy.timeout
+        assert pool.acquire(0, 1) == 0
+        # Within the timeout window the unit is still uncontrolled-idle.
+        assert pool.acquire(1 + timeout, 1) == 0
+        assert not pool.blocked_on_wakeup
+
+
+class TestWarmupReset:
+    def test_reset_clears_tallies_and_controller_state(self):
+        pool = make_pool(policy="PredictiveSleep", latency=0)
+        assert pool.acquire(0, 1) == 0
+        assert pool.acquire(100, 1) == 0
+        prediction = pool.controllers[0].policy.prediction
+        assert prediction > 0
+        pool.reset_statistics(101)
+        assert pool.controllers[0].policy.prediction == 0.0
+        assert pool.tallies[0].controlled_idle == 0
+        assert pool.tallies[0].uncontrolled_idle == 0.0
+
+    def test_wake_straddling_reset_is_clamped(self):
+        pool = make_pool(latency=10)
+        assert pool.acquire(0, 1) == 0
+        assert pool.acquire(3, 1) is None  # wake ready at 13
+        pool.reset_statistics(8)  # boundary mid-wake
+        assert pool.acquire(13, 1) == 0
+        pool.finalize(14)
+        tally = pool.tallies[0]
+        # Only the post-boundary share of the wake is measured.
+        assert tally.waking == 5
+        assert tally.awake_wait == 0
+        assert tally.active + tally.idle_cycles == 14 - 8
+
+
+class TestControllerAdapter:
+    def test_close_interval_matches_policy(self):
+        controller = PolicyController(build_policy("GradualSleep", PARAMS, 0.5))
+        reference = build_policy("GradualSleep", PARAMS, 0.5)
+        for length in (1, 3, 10, 100):
+            got = controller.close_interval(length)
+            want = reference.on_interval(length)
+            assert isinstance(got, IntervalOutcome)
+            assert (got.uncontrolled_idle, got.sleep, got.transitions) == (
+                want.uncontrolled_idle,
+                want.sleep,
+                want.transitions,
+            )
+
+    def test_never_asleep_before_first_idle_cycle(self):
+        controller = PolicyController(build_policy("MaxSleep", PARAMS, 0.5))
+        assert not controller.asleep_after(0)
+        assert controller.asleep_after(1)
+
+    def test_build_controllers_validates_count(self):
+        with pytest.raises(ValueError):
+            build_controllers("MaxSleep", PARAMS, 0.5, 0)
+
+
+class TestRuntimeTally:
+    def test_add_outcome_accumulates(self):
+        tally = RuntimeTally()
+        tally.add_outcome(5, IntervalOutcome(2.0, 3.0, 1.0))
+        tally.add_outcome(4, IntervalOutcome(4.0, 0.0, 0.0))
+        assert tally.controlled_idle == 9
+        assert tally.uncontrolled_idle == 6.0
+        assert tally.sleep == 3.0
+        assert tally.transitions == 1.0
+        assert tally.idle_cycles == 9
