@@ -1,0 +1,45 @@
+"""pytest-benchmark: trace-generation throughput over sampled scenarios.
+
+Scenario sweeps are gated on how fast the generator can turn sampled
+profiles into instruction streams (the robustness experiment generates
+50-200 of them per run). The floor is deliberately conservative — a
+laptop-class core does ~5x better — so the gate catches order-of-
+magnitude regressions (e.g. an accidentally quadratic walk), not CI
+noise.
+"""
+
+from repro.cpu.workloads import generate_trace
+from repro.scenarios import sample_scenarios
+
+#: Instructions per scenario in the benched batch.
+WINDOW = 20_000
+#: Scenarios in the batch: two full rounds of the default family cycle.
+BATCH = 12
+#: Minimum acceptable generation rate, instructions per second.
+MIN_THROUGHPUT = 60_000
+
+
+def _generate_batch(scenarios):
+    total = 0
+    for scenario in scenarios:
+        total += len(generate_trace(scenario.profile, WINDOW, seed=1))
+    return total
+
+
+def test_bench_scenario_trace_generation(benchmark):
+    scenarios = sample_scenarios(BATCH, seed=1)
+    total = benchmark(lambda: _generate_batch(scenarios))
+    assert total == BATCH * WINDOW
+    throughput = total / benchmark.stats.stats.min
+    assert throughput >= MIN_THROUGHPUT, (
+        f"trace generation at {throughput / 1000:.0f}k instr/s, "
+        f"floor is {MIN_THROUGHPUT / 1000:.0f}k"
+    )
+
+
+def test_bench_scenario_sampling(benchmark):
+    """Sampling itself (no traces) must stay trivially cheap: the 200-
+    scenario upper band in well under a second."""
+    scenarios = benchmark(lambda: sample_scenarios(200, seed=1))
+    assert len(scenarios) == 200
+    assert benchmark.stats.stats.min < 1.0

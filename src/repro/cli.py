@@ -6,7 +6,11 @@ evaluates a policy grid (``--p-grid`` x ``--alpha-grid`` x
 ``--policies``) over the benchmark suite with the vectorized engine;
 ``perf`` runs the closed-loop study — policies inside the pipeline,
 sleeping units stalling issue on the wakeup latency — and reports
-energy savings against the measured IPC slowdown.
+energy savings against the measured IPC slowdown; ``robustness``
+samples the parametric scenario space (``--scenarios`` workloads from
+``--families``, deterministic under ``--scenario-seed``) and reports
+per-policy savings distributions, per-family ranking stability, and
+worst cases.
 
 Execution-engine flags apply to every experiment: ``--jobs N`` fans
 simulation batches out across N worker processes, ``--cache-dir`` points
@@ -30,12 +34,15 @@ from repro.experiments import (
     figure8,
     figure9,
     perf_impact,
+    robustness,
     runner,
     sweep,
     table1,
     table3,
 )
 from repro.experiments.common import DEFAULT_SCALE, QUICK_SCALE, ExperimentScale
+from repro.scenarios import family_names, write_catalog
+from repro.scenarios.space import PHASED_FAMILY
 
 
 def _registry(scale: ExperimentScale) -> Dict[str, Callable[[], str]]:
@@ -63,9 +70,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_registry(DEFAULT_SCALE)) + ["perf", "sweep", "all", "list"],
+        choices=sorted(_registry(DEFAULT_SCALE))
+        + ["perf", "robustness", "sweep", "all", "list"],
         help="experiment to run, 'sweep' for a policy-grid sweep, 'perf' "
-        "for the closed-loop energy-vs-slowdown study, 'all' for "
+        "for the closed-loop energy-vs-slowdown study, 'robustness' for "
+        "the sampled-scenario policy-robustness study, 'all' for "
         "everything, 'list' to enumerate",
     )
     parser.add_argument(
@@ -100,7 +109,9 @@ def build_parser() -> argparse.ArgumentParser:
         + ",".join(sweep.DEFAULT_POLICIES)
         + " for sweep, "
         + ",".join(perf_impact.DEFAULT_PERF_POLICIES)
-        + " for perf)",
+        + " for perf, "
+        + ",".join(robustness.DEFAULT_ROBUSTNESS_POLICIES)
+        + " for robustness)",
     )
     group.add_argument(
         "--benchmarks",
@@ -111,10 +122,11 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument(
         "--alpha",
         type=float,
-        default=perf_impact.DEFAULT_ALPHA,
+        default=None,
         metavar="A",
-        help="activity factor for the closed-loop study (perf only; "
-        "default: %(default)s)",
+        help="activity factor (perf and robustness; defaults: "
+        f"{perf_impact.DEFAULT_ALPHA:g} for perf, "
+        f"{robustness.DEFAULT_ROBUSTNESS_ALPHA:g} for robustness)",
     )
     group.add_argument(
         "--wakeup-latencies",
@@ -122,6 +134,42 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="CYCLES",
         help="comma list of wakeup latencies in cycles (perf only; "
         "default: %(default)s)",
+    )
+    robust = parser.add_argument_group("robustness options")
+    robust.add_argument(
+        "--scenarios",
+        type=int,
+        default=robustness.DEFAULT_SCENARIO_COUNT,
+        metavar="N",
+        help="number of sampled scenarios (default: %(default)s)",
+    )
+    robust.add_argument(
+        "--scenario-seed",
+        type=int,
+        default=robustness.DEFAULT_SCENARIO_SEED,
+        metavar="SEED",
+        help="scenario-space sampling seed (default: %(default)s)",
+    )
+    robust.add_argument(
+        "--families",
+        default="",
+        metavar="NAMES",
+        help="comma list of scenario families from: "
+        + ", ".join(family_names() + [PHASED_FAMILY])
+        + " (default: all)",
+    )
+    robust.add_argument(
+        "--p",
+        type=float,
+        default=robustness.DEFAULT_P,
+        metavar="P",
+        help="leakage factor for the robustness study (default: %(default)s)",
+    )
+    robust.add_argument(
+        "--catalog",
+        default=None,
+        metavar="PATH",
+        help="write the sampled scenario catalog (JSON) to this path",
     )
     runner.add_execution_arguments(parser)
     return parser
@@ -146,6 +194,32 @@ def _run_sweep(args: argparse.Namespace, scale: ExperimentScale) -> str:
     return sweep.render(result)
 
 
+def _run_robustness(args: argparse.Namespace, scale: ExperimentScale) -> str:
+    families = _split_names(args.families) or None
+    policies = _split_names(
+        args.policies or ",".join(robustness.DEFAULT_ROBUSTNESS_POLICIES)
+    )
+    result = robustness.run(
+        scale=scale,
+        count=args.scenarios,
+        seed=args.scenario_seed,
+        families=families,
+        policies=policies,
+        p=args.p,
+        alpha=(
+            args.alpha
+            if args.alpha is not None
+            else robustness.DEFAULT_ROBUSTNESS_ALPHA
+        ),
+        jobs=args.jobs,
+    )
+    if args.catalog is not None:
+        # Serialize the scenarios the run actually evaluated, so the
+        # catalog can never drift from the report it accompanies.
+        write_catalog(result.scenarios, args.catalog)
+    return robustness.render(result)
+
+
 def _run_perf(args: argparse.Namespace, scale: ExperimentScale) -> str:
     policies = _split_names(
         args.policies or ",".join(perf_impact.DEFAULT_PERF_POLICIES)
@@ -162,7 +236,9 @@ def _run_perf(args: argparse.Namespace, scale: ExperimentScale) -> str:
         scale=scale,
         policies=policies,
         p_values=p_values,
-        alpha=args.alpha,
+        alpha=(
+            args.alpha if args.alpha is not None else perf_impact.DEFAULT_ALPHA
+        ),
         wakeup_latencies=latencies,
         benchmarks=_split_names(args.benchmarks) or None,
         jobs=args.jobs,
@@ -175,7 +251,7 @@ def main(argv=None) -> int:
     scale = QUICK_SCALE if args.quick else DEFAULT_SCALE
     registry = _registry(scale)
     if args.experiment == "list":
-        for name in sorted(registry) + ["perf", "sweep"]:
+        for name in sorted(registry) + ["perf", "robustness", "sweep"]:
             print(name)
         return 0
     runner.apply_execution_arguments(args)
@@ -187,6 +263,9 @@ def main(argv=None) -> int:
         return 0
     if args.experiment == "perf":
         print(_run_perf(args, scale))
+        return 0
+    if args.experiment == "robustness":
+        print(_run_robustness(args, scale))
         return 0
     print(registry[args.experiment]())
     return 0

@@ -14,6 +14,7 @@ dataflow the issue logic sees after renaming removes false dependencies.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, List, Sequence
 
 from repro.cpu.isa import OpClass
@@ -48,6 +49,45 @@ class TraceInstruction:
             f"dep1={self.dep1}, dep2={self.dep2}, address={self.address:#x}, "
             f"taken={self.taken}, target={self.target:#x})"
         )
+
+    def __eq__(self, other: object) -> bool:
+        """Field-for-field equality, so whole traces compare with ``==``.
+
+        The scenario subsystem's determinism gate (same seed => identical
+        traces) is asserted through this.
+        """
+        if not isinstance(other, TraceInstruction):
+            return NotImplemented
+        return all(
+            getattr(self, slot) == getattr(other, slot)
+            for slot in self.__slots__
+        )
+
+    __hash__ = None  # mutable: identity hashing would be a correctness trap
+
+
+def trace_digest(trace: Iterable[TraceInstruction]) -> str:
+    """SHA-256 over every field of every instruction, in order.
+
+    A process-portable fingerprint of a trace: two runs (even in separate
+    interpreters) generated the same instruction stream iff their digests
+    match. The cross-process determinism tests compare these where whole
+    traces cannot cross the process boundary.
+    """
+    digest = hashlib.sha256()
+    slots = TraceInstruction.__slots__
+    for instr in trace:
+        # Derived from __slots__ (like __eq__) so the two equality
+        # notions can never silently diverge when a field is added; every
+        # slot is int-valued (op is an IntEnum, taken a bool), and int()
+        # keeps the encoding canonical across Python versions.
+        digest.update(
+            (
+                ",".join(str(int(getattr(instr, slot))) for slot in slots)
+                + ";"
+            ).encode()
+        )
+    return digest.hexdigest()
 
 
 def validate_trace(trace: Sequence[TraceInstruction]) -> None:

@@ -24,7 +24,13 @@ from typing import Dict, List, Optional
 
 from repro.cpu.isa import OpClass
 from repro.cpu.trace import TraceInstruction
+from repro.util.lookup import unknown_name_message
 from repro.util.rng import DeterministicRng
+
+#: Minimum INT_ALU share of the body mix. Every real integer program has
+#: plain ALU work, and reserving it keeps the deck builder's per-class
+#: rounding (at most +0.5 slot per class) strictly inside the deck.
+_MIN_INT_ALU_FRACTION = 0.02
 
 # Virtual-address regions for the three locality classes.
 _CODE_BASE = 0x0040_0000
@@ -90,24 +96,53 @@ class WorkloadProfile:
     reference_ipc: float
     reference_fus: int
     instruction_window: str
+    #: Fraction of body ops that are floating point (split between FP_ALU
+    #: and FP_MULT). The paper's nine benchmarks are integer codes, so the
+    #: field defaults to zero and their traces are unchanged; the scenario
+    #: families use it to model fp-dense workloads whose integer units sit
+    #: idle while the FP pool works.
+    frac_fp: float = 0.0
+
+    #: Fraction fields that must individually lie in [0, 1].
+    _FRACTION_FIELDS = (
+        "frac_int_mult", "frac_load", "frac_store", "frac_fp",
+        "call_fraction", "loop_branch_fraction",
+        "fixed_trip_fraction", "indirect_branch_fraction",
+        "stack_prob", "stream_prob",
+        "first_source_prob", "second_source_prob",
+        "load_chain_prob", "random_branch_fraction",
+        "heap_hot_prob", "biased_taken_prob",
+    )
 
     def __post_init__(self) -> None:
-        body_fracs = self.frac_int_mult + self.frac_load + self.frac_store
-        if body_fracs > 1.0:
-            raise ValueError(
-                f"{self.name}: body op fractions sum to {body_fracs} > 1"
-            )
-        for name in ("call_fraction", "loop_branch_fraction",
-                     "fixed_trip_fraction", "indirect_branch_fraction",
-                     "stack_prob",
-                     "stream_prob", "first_source_prob", "second_source_prob",
-                     "load_chain_prob", "random_branch_fraction",
-                     "heap_hot_prob"):
+        for name in self._FRACTION_FIELDS:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
-                raise ValueError(f"{self.name}: {name} must be in [0, 1], got {value}")
+                raise ValueError(
+                    f"{self.name}: {name} must be a fraction in [0, 1], "
+                    f"got {value}"
+                )
+        body_fracs = (
+            self.frac_int_mult + self.frac_load + self.frac_store + self.frac_fp
+        )
+        # The 2% floor is not cosmetic: it guarantees the deck builder's
+        # four per-class round() calls can never overflow the deck size
+        # (each rounds up by at most half a slot), so the dealt mix
+        # always matches the declared fractions.
+        if body_fracs > 1.0 - _MIN_INT_ALU_FRACTION:
+            raise ValueError(
+                f"{self.name}: body op fractions (frac_int_mult + frac_load "
+                f"+ frac_store + frac_fp) sum to {body_fracs}; the remainder "
+                f"is INT_ALU, which needs at least {_MIN_INT_ALU_FRACTION} "
+                f"of the mix"
+            )
         if self.stack_prob + self.stream_prob > 1.0:
-            raise ValueError(f"{self.name}: locality probabilities exceed 1")
+            raise ValueError(
+                f"{self.name}: locality probabilities exceed 1 "
+                f"(stack_prob {self.stack_prob} + stream_prob "
+                f"{self.stream_prob} = {self.stack_prob + self.stream_prob}; "
+                f"the remainder is the heap share)"
+            )
         if self.mean_block_size < 2.0:
             raise ValueError(f"{self.name}: blocks must average >= 2 instructions")
         if self.mean_dep_distance < 1.0:
@@ -119,7 +154,13 @@ class WorkloadProfile:
 
     @property
     def frac_int_alu(self) -> float:
-        return 1.0 - self.frac_int_mult - self.frac_load - self.frac_store
+        return (
+            1.0
+            - self.frac_int_mult
+            - self.frac_load
+            - self.frac_store
+            - self.frac_fp
+        )
 
 
 # -- static program construction ---------------------------------------------
@@ -225,6 +266,9 @@ class _StaticProgram:
         deck += [OpClass.LOAD] * round(profile.frac_load * self._DECK_SIZE)
         deck += [OpClass.STORE] * round(profile.frac_store * self._DECK_SIZE)
         deck += [OpClass.INT_MULT] * round(profile.frac_int_mult * self._DECK_SIZE)
+        fp_ops = round(profile.frac_fp * self._DECK_SIZE)
+        deck += [OpClass.FP_MULT] * (fp_ops // 2)
+        deck += [OpClass.FP_ALU] * (fp_ops - fp_ops // 2)
         deck += [OpClass.INT_ALU] * (self._DECK_SIZE - len(deck))
         return rng.shuffled(deck)
 
@@ -378,11 +422,20 @@ def generate_trace(
 
     Deterministic in (profile, num_instructions, seed); extending the
     window preserves the prefix's structure (same static program).
+
+    Composite workloads (e.g. :class:`repro.scenarios.phased.PhasedProfile`)
+    provide their own ``build_trace(num_instructions, seed)`` method; the
+    simulator funnels every profile through this function, so the hook is
+    what lets them flow through jobs, caching, and the parallel engine
+    unchanged.
     """
     if num_instructions < 1:
         raise ValueError(
             f"num_instructions must be >= 1, got {num_instructions}"
         )
+    build = getattr(profile, "build_trace", None)
+    if build is not None:
+        return build(num_instructions, seed)
     structure_rng = DeterministicRng(seed).child(profile.name, "structure")
     walk_rng = DeterministicRng(seed).child(profile.name, "walk")
     data_rng = DeterministicRng(seed).child(profile.name, "data")
@@ -705,9 +758,14 @@ def benchmark_names() -> List[str]:
 
 
 def get_benchmark(name: str) -> WorkloadProfile:
-    """Look up a benchmark profile by name."""
+    """Look up a benchmark profile by name.
+
+    Unknown names raise with the closest registered names (typo help)
+    rather than dumping the whole registry.
+    """
     try:
         return BENCHMARKS[name]
     except KeyError:
-        known = ", ".join(sorted(BENCHMARKS))
-        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+        raise KeyError(
+            unknown_name_message("benchmark", name, BENCHMARKS)
+        ) from None

@@ -34,8 +34,12 @@ CACHE_SCHEMA_VERSION = 2
 
 #: Files whose source determines simulation outcomes, relative to the
 #: ``repro`` package root. Closed-loop runs consult the sleep policies
-#: *during* simulation, so the policy-defining core modules are in; the
-#: downstream-only accounting/vectorization modules stay out.
+#: *during* simulation, so the policy-defining core modules are in;
+#: phased composite profiles build their traces in
+#: ``scenarios/phased.py``, so it is in too. The downstream-only
+#: accounting/vectorization modules (and the scenario *sampling* code,
+#: which only decides which profiles exist, never what a given profile
+#: simulates to) stay out.
 _MODEL_SOURCES = (
     "cpu",
     "util/rng.py",
@@ -45,6 +49,7 @@ _MODEL_SOURCES = (
     "core/gradual.py",
     "core/policies.py",
     "core/sleep_control.py",
+    "scenarios/phased.py",
 )
 
 _fingerprint_cache: Optional[str] = None

@@ -11,7 +11,7 @@ worker processes as-is).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.cpu.config import MachineConfig
 from repro.cpu.simulator import SimulationResult, Simulator
@@ -19,12 +19,23 @@ from repro.cpu.sleep import SleepRuntimeSpec
 from repro.cpu.workloads import WorkloadProfile
 from repro.exec.hashing import simulation_key
 
+if TYPE_CHECKING:  # typing only: exec must stay import-light under cpu
+    from repro.scenarios.phased import PhasedProfile
+
 
 @dataclass(frozen=True)
 class SimulationJob:
-    """One (profile, window, seed, machine) simulation request."""
+    """One (profile, window, seed, machine) simulation request.
 
-    profile: WorkloadProfile
+    ``profile`` is any frozen trace-producing workload: a registered or
+    sampled :class:`~repro.cpu.workloads.WorkloadProfile` (including
+    :class:`~repro.scenarios.space.ScenarioWorkload`) or a
+    :class:`~repro.scenarios.phased.PhasedProfile` composite. All of
+    them canonicalize — class tag plus every field — so distinct
+    workload kinds can never collide in either cache layer.
+    """
+
+    profile: Union[WorkloadProfile, "PhasedProfile"]
     num_instructions: int
     warmup_instructions: int = 0
     seed: int = 1
@@ -48,7 +59,7 @@ class SimulationJob:
     @classmethod
     def from_scale(
         cls,
-        profile: WorkloadProfile,
+        profile: Union[WorkloadProfile, "PhasedProfile"],
         scale,
         config: MachineConfig,
         sleep: Optional[SleepRuntimeSpec] = None,

@@ -16,6 +16,7 @@ Every module exposes ``run(...)`` returning a result dataclass and
 | table3     | Table 3 — benchmark IPC and FU selection              |
 | ablations  | design-choice studies DESIGN.md calls out             |
 | sweep      | policy grids beyond the paper (technology x alpha)    |
+| robustness | policy rankings across the sampled scenario space     |
 """
 
 from repro.experiments.common import (

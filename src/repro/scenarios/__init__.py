@@ -1,0 +1,64 @@
+"""Scenario space: parametric workload families beyond the paper's nine.
+
+The paper's conclusions — which sleep policy wins, and by how much —
+hinge on idle-interval distributions, which are workload-dependent. This
+package turns the fixed benchmark list into a *samplable space*:
+
+* :mod:`repro.scenarios.families` — named parametric families
+  (memory-bound, branch-heavy, fp-dense, ilp-rich, bursty-idle), each a
+  region of :class:`~repro.cpu.workloads.WorkloadProfile` space;
+* :mod:`repro.scenarios.space` — deterministic seeded sampling with
+  stable scenario IDs (same seed => byte-identical traces);
+* :mod:`repro.scenarios.phased` — :class:`PhasedProfile` composite
+  workloads that switch between member profiles mid-trace;
+* :mod:`repro.scenarios.catalog` — the on-disk JSON catalog of a sampled
+  space, digest-linked to the family definitions so cached simulation
+  results stay sound.
+
+:mod:`repro.experiments.robustness` (the ``repro robustness`` CLI
+subcommand) pushes sampled scenarios through the parallel execution
+engine and the vectorized evaluator to measure how stable the paper's
+policy rankings are across the space.
+"""
+
+from repro.scenarios.catalog import (
+    catalog_payload,
+    load_catalog,
+    write_catalog,
+)
+from repro.scenarios.families import (
+    FAMILIES,
+    ParamRange,
+    ScenarioFamily,
+    family_names,
+    get_family,
+)
+from repro.scenarios.phased import PhasedProfile
+from repro.scenarios.space import (
+    DEFAULT_SPACE,
+    PHASED_FAMILY,
+    Scenario,
+    ScenarioSpace,
+    ScenarioWorkload,
+    definitions_digest,
+    sample_scenarios,
+)
+
+__all__ = [
+    "DEFAULT_SPACE",
+    "FAMILIES",
+    "PHASED_FAMILY",
+    "ParamRange",
+    "PhasedProfile",
+    "Scenario",
+    "ScenarioFamily",
+    "ScenarioSpace",
+    "ScenarioWorkload",
+    "catalog_payload",
+    "definitions_digest",
+    "family_names",
+    "get_family",
+    "load_catalog",
+    "sample_scenarios",
+    "write_catalog",
+]

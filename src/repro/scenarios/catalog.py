@@ -1,0 +1,179 @@
+"""The on-disk scenario catalog: a sampled space, written down.
+
+A robustness run is only auditable if the exact workloads it evaluated
+survive it. :func:`write_catalog` serializes sampled scenarios — every
+profile field, member, and phase length — as JSON, stamped with the
+:func:`~repro.scenarios.space.definitions_digest` of the family
+definitions that produced them; :func:`load_catalog` reconstructs the
+identical :class:`~repro.scenarios.space.Scenario` objects (dataclass
+``==`` holds round-trip), so a catalog can be re-simulated, diffed, or
+shipped to another machine.
+
+Cache soundness: the digest in the catalog is the same digest sampled
+profiles carry in their ``catalog_digest`` field, which the exec layer's
+canonical keys fold in alongside the model fingerprint. Loading a
+catalog whose digest no longer matches the current definitions still
+works (the profiles are self-contained), but newly sampled scenarios
+will never collide with its cache entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.cpu.workloads import WorkloadProfile
+from repro.scenarios.phased import PhasedProfile
+from repro.scenarios.space import (
+    Scenario,
+    ScenarioWorkload,
+    definitions_digest,
+)
+
+#: Bump on incompatible changes to the JSON layout.
+CATALOG_FORMAT_VERSION = 1
+
+
+def _profile_entry(profile: WorkloadProfile) -> Dict[str, object]:
+    """Every dataclass field, plus the concrete class so loading can
+    reconstruct a plain WorkloadProfile vs a ScenarioWorkload exactly
+    (the class tag is part of cache identity)."""
+    entry: Dict[str, object] = {
+        field.name: getattr(profile, field.name)
+        for field in dataclasses.fields(profile)
+    }
+    entry["__profile_class__"] = type(profile).__name__
+    return entry
+
+
+def _scenario_entry(scenario: Scenario) -> Dict[str, object]:
+    entry: Dict[str, object] = {
+        "id": scenario.scenario_id,
+        "family": scenario.family,
+        "index": scenario.index,
+    }
+    profile = scenario.profile
+    if isinstance(profile, PhasedProfile):
+        entry["kind"] = "phased"
+        entry["name"] = profile.name
+        entry["suite"] = profile.suite
+        entry["description"] = profile.description
+        entry["phase_lengths"] = list(profile.phase_lengths)
+        entry["members"] = [
+            _profile_entry(member) for member in profile.members
+        ]
+    else:
+        entry["kind"] = "profile"
+        entry["profile"] = _profile_entry(profile)
+    return entry
+
+
+def _scenarios_digest(scenarios: Sequence[Scenario]) -> str:
+    """The definitions digest the scenarios themselves carry.
+
+    Reading it off the profiles (rather than re-computing the current
+    registry digest) keeps a re-written catalog consistent with its own
+    entries even after the family definitions have changed. Mixed
+    digests are an error — such a set was never one sampled space.
+    Hand-built scenarios with no sampled profiles fall back to the
+    current definitions.
+    """
+    digests = set()
+    for scenario in scenarios:
+        profile = scenario.profile
+        members = (
+            profile.members if isinstance(profile, PhasedProfile) else (profile,)
+        )
+        for member in members:
+            digest = getattr(member, "catalog_digest", "")
+            if digest:
+                digests.add(digest)
+    if len(digests) > 1:
+        raise ValueError(
+            f"scenarios carry {len(digests)} different definition digests; "
+            f"a catalog must describe one sampled space"
+        )
+    return digests.pop() if digests else definitions_digest()
+
+
+def catalog_payload(scenarios: Sequence[Scenario]) -> Dict[str, object]:
+    """The JSON-ready catalog document for a sampled scenario list."""
+    return {
+        "format": CATALOG_FORMAT_VERSION,
+        "definitions_digest": _scenarios_digest(scenarios),
+        "scenarios": [_scenario_entry(scenario) for scenario in scenarios],
+    }
+
+
+def write_catalog(
+    scenarios: Sequence[Scenario], path: Union[str, Path]
+) -> Path:
+    """Write the catalog JSON (creating parent directories); returns the
+    path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    document = catalog_payload(scenarios)
+    target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+_PROFILE_CLASSES = {
+    "WorkloadProfile": WorkloadProfile,
+    "ScenarioWorkload": ScenarioWorkload,
+}
+
+
+def _load_profile(entry: Dict[str, object]) -> WorkloadProfile:
+    fields = dict(entry)
+    class_name = fields.pop("__profile_class__", "ScenarioWorkload")
+    try:
+        profile_class = _PROFILE_CLASSES[class_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown catalog profile class {class_name!r}"
+        ) from None
+    return profile_class(**fields)  # type: ignore[arg-type]
+
+
+def load_catalog(
+    path: Union[str, Path]
+) -> Tuple[str, List[Scenario]]:
+    """Read a catalog back as ``(definitions_digest, scenarios)``.
+
+    The returned scenarios compare equal (``==``) to the originally
+    sampled ones when the catalog was written by the same definitions.
+    """
+    document = json.loads(Path(path).read_text())
+    version = document.get("format")
+    if version != CATALOG_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported catalog format {version!r} "
+            f"(expected {CATALOG_FORMAT_VERSION})"
+        )
+    scenarios: List[Scenario] = []
+    for entry in document["scenarios"]:
+        if entry["kind"] == "phased":
+            profile: Union[WorkloadProfile, PhasedProfile] = PhasedProfile(
+                name=entry["name"],
+                members=tuple(
+                    _load_profile(member) for member in entry["members"]
+                ),
+                phase_lengths=tuple(entry["phase_lengths"]),
+                suite=entry["suite"],
+                description=entry["description"],
+            )
+        elif entry["kind"] == "profile":
+            profile = _load_profile(entry["profile"])
+        else:
+            raise ValueError(f"unknown catalog entry kind {entry['kind']!r}")
+        scenarios.append(
+            Scenario(
+                scenario_id=entry["id"],
+                family=entry["family"],
+                index=entry["index"],
+                profile=profile,
+            )
+        )
+    return document["definitions_digest"], scenarios

@@ -1,0 +1,291 @@
+"""Named parametric workload families.
+
+A :class:`ScenarioFamily` is a region of
+:class:`~repro.cpu.workloads.WorkloadProfile` space: a set of fixed
+field overrides on a neutral template plus per-field sampling ranges.
+Each family is built around the mechanism that shapes its idle-interval
+distribution — the quantity the paper's policies are sensitive to:
+
+========================  ====================================================
+family                    defining mechanism
+========================  ====================================================
+``memory_bound``          pointer chasing over an L2-defeating heap: long
+                          memory stalls => long idle intervals (mcf-like)
+``branch_heavy``          small blocks, weak predictability, indirect
+                          dispatch: mispredict-fragmented short idleness
+``fp_dense``              a large FP body share executes on the FP pool,
+                          leaving the *integer* units — the paper's units
+                          under study — idle for long stretches
+``ilp_rich``              long dependency distances and predictable loops:
+                          high IPC, units busy, only slivers of idleness
+``bursty_idle``           long predictable loop bursts separated by cold
+                          heap sweeps: bimodal interval lengths, the regime
+                          where adaptive policies earn their keep
+========================  ====================================================
+
+Families are frozen dataclasses over tuples, so they are hashable and
+canonicalizable: :func:`repro.scenarios.space.definitions_digest` folds
+their exact content into every sampled scenario's cache identity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+from repro.util.lookup import unknown_name_message
+from repro.util.rng import DeterministicRng
+
+_KB = 1024
+_MB = 1024 * 1024
+
+Value = Union[int, float, str]
+
+
+@dataclass(frozen=True)
+class ParamRange:
+    """A uniform sampling range for one profile field.
+
+    ``kind`` selects the draw: ``"float"`` (uniform, rounded to 6
+    digits so catalog JSON round-trips exactly), ``"int"`` (uniform
+    integer, inclusive), or ``"log_int"`` (uniform in log space, for
+    footprints spanning orders of magnitude).
+    """
+
+    low: float
+    high: float
+    kind: str = "float"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("float", "int", "log_int"):
+            raise ValueError(f"unknown range kind {self.kind!r}")
+        if self.low > self.high:
+            raise ValueError(f"empty range [{self.low}, {self.high}]")
+        if self.kind == "log_int" and self.low <= 0:
+            raise ValueError("log_int range needs a positive lower bound")
+
+    def sample(self, rng: DeterministicRng) -> Union[int, float]:
+        if self.kind == "int":
+            return rng.randint(int(self.low), int(self.high))
+        if self.kind == "log_int":
+            drawn = math.exp(
+                math.log(self.low)
+                + rng.uniform() * (math.log(self.high) - math.log(self.low))
+            )
+            return max(int(self.low), min(int(self.high), round(drawn)))
+        return round(self.low + rng.uniform() * (self.high - self.low), 6)
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """One named family: fixed overrides plus sampled ranges.
+
+    ``base`` and ``ranges`` are tuples of pairs (not dicts) so the
+    dataclass stays hashable and its canonical form is order-stable.
+    ``fus`` samples the integer-FU count scenarios in this family run
+    with — the scenario-space analogue of Table 3's per-benchmark FU
+    selection.
+    """
+
+    name: str
+    description: str
+    base: Tuple[Tuple[str, Value], ...]
+    ranges: Tuple[Tuple[str, ParamRange], ...]
+    fus: ParamRange
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for field_name, _ in self.base + self.ranges:
+            if field_name in seen:
+                raise ValueError(f"{self.name}: duplicate field {field_name!r}")
+            seen.add(field_name)
+        if self.fus.kind != "int":
+            raise ValueError(f"{self.name}: fus range must be integer")
+
+    def sample_fields(self, rng: DeterministicRng) -> Dict[str, Value]:
+        """Draw one profile's worth of field values (template + family).
+
+        Ranged fields are drawn in definition order from ``rng``, so the
+        draw sequence — and therefore the sampled scenario — is a pure
+        function of (family definition, rng seed).
+        """
+        fields: Dict[str, Value] = dict(_TEMPLATE)
+        fields.update(self.base)
+        for field_name, param_range in self.ranges:
+            fields[field_name] = param_range.sample(rng)
+        return fields
+
+    def sample_fus(self, rng: DeterministicRng) -> int:
+        return int(self.fus.sample(rng))
+
+
+#: Neutral template the families override: a middle-of-the-road integer
+#: workload (parameters in the interior of the nine benchmarks' spread).
+_TEMPLATE: Dict[str, Value] = dict(
+    suite="scenario",
+    frac_int_mult=0.05, frac_load=0.24, frac_store=0.10, frac_fp=0.0,
+    mean_block_size=6.5, call_fraction=0.05,
+    loop_branch_fraction=0.35, fixed_trip_fraction=0.6, mean_loop_trips=10.0,
+    biased_taken_prob=0.94, random_branch_fraction=0.04,
+    indirect_branch_fraction=0.02,
+    mean_dep_distance=8.0, first_source_prob=0.75, second_source_prob=0.3,
+    load_chain_prob=0.2,
+    stack_bytes=16 * _KB, stream_bytes=24 * _KB,
+    heap_bytes=256 * _KB, heap_hot_bytes=16 * _KB, heap_hot_prob=0.95,
+    stack_prob=0.3, stream_prob=0.25, stream_stride=8,
+    num_blocks=300, num_functions=15, function_blocks=4,
+    reference_max_ipc=0.0, reference_ipc=0.0, reference_fus=2,
+    instruction_window="sampled",
+)
+
+
+FAMILIES: Dict[str, ScenarioFamily] = {}
+
+
+def _register(family: ScenarioFamily) -> None:
+    FAMILIES[family.name] = family
+
+
+_register(ScenarioFamily(
+    name="memory_bound",
+    description=(
+        "Pointer chasing over a heap far beyond the L2: load-use chains "
+        "serialize on memory, so integer units idle in long intervals."
+    ),
+    base=(
+        ("first_source_prob", 0.85),
+        ("loop_branch_fraction", 0.35),
+    ),
+    ranges=(
+        ("frac_load", ParamRange(0.28, 0.38)),
+        ("frac_store", ParamRange(0.06, 0.12)),
+        ("load_chain_prob", ParamRange(0.45, 0.75)),
+        ("mean_dep_distance", ParamRange(2.0, 4.0)),
+        ("heap_bytes", ParamRange(4 * _MB, 32 * _MB, "log_int")),
+        ("heap_hot_bytes", ParamRange(32 * _KB, 64 * _KB, "int")),
+        ("heap_hot_prob", ParamRange(0.80, 0.95)),
+        ("stack_prob", ParamRange(0.05, 0.15)),
+        ("stream_prob", ParamRange(0.05, 0.15)),
+        ("mean_loop_trips", ParamRange(4.0, 10.0)),
+    ),
+    fus=ParamRange(1, 2, "int"),
+))
+
+_register(ScenarioFamily(
+    name="branch_heavy",
+    description=(
+        "Small basic blocks, weak branch bias, and indirect dispatch: "
+        "mispredicts fragment execution into short busy/idle slivers."
+    ),
+    base=(
+        ("loop_branch_fraction", 0.22),
+    ),
+    ranges=(
+        ("mean_block_size", ParamRange(3.5, 5.5)),
+        ("random_branch_fraction", ParamRange(0.08, 0.25)),
+        ("indirect_branch_fraction", ParamRange(0.05, 0.20)),
+        ("biased_taken_prob", ParamRange(0.80, 0.92)),
+        ("call_fraction", ParamRange(0.05, 0.12)),
+        ("mean_dep_distance", ParamRange(4.0, 8.0)),
+        ("num_blocks", ParamRange(400, 800, "int")),
+        ("num_functions", ParamRange(15, 45, "int")),
+    ),
+    fus=ParamRange(2, 3, "int"),
+))
+
+_register(ScenarioFamily(
+    name="fp_dense",
+    description=(
+        "A numeric kernel: a large floating-point body share executes on "
+        "the FP pool while the integer units under study sit idle."
+    ),
+    base=(
+        ("frac_int_mult", 0.02),
+        ("fixed_trip_fraction", 0.8),
+    ),
+    ranges=(
+        ("frac_fp", ParamRange(0.20, 0.40)),
+        ("frac_load", ParamRange(0.18, 0.28)),
+        ("frac_store", ParamRange(0.05, 0.10)),
+        ("mean_dep_distance", ParamRange(6.0, 12.0)),
+        ("loop_branch_fraction", ParamRange(0.45, 0.65)),
+        ("mean_loop_trips", ParamRange(12.0, 24.0)),
+        ("stream_prob", ParamRange(0.40, 0.60)),
+        ("stack_prob", ParamRange(0.10, 0.20)),
+    ),
+    fus=ParamRange(1, 2, "int"),
+))
+
+_register(ScenarioFamily(
+    name="ilp_rich",
+    description=(
+        "Wide independent dataflow in big predictable loops: sustained "
+        "near-peak IPC keeps every integer unit almost always busy."
+    ),
+    base=(
+        ("load_chain_prob", 0.05),
+        ("random_branch_fraction", 0.01),
+    ),
+    ranges=(
+        ("mean_dep_distance", ParamRange(10.0, 18.0)),
+        ("first_source_prob", ParamRange(0.55, 0.70)),
+        ("mean_block_size", ParamRange(8.0, 12.0)),
+        ("biased_taken_prob", ParamRange(0.95, 0.99)),
+        ("loop_branch_fraction", ParamRange(0.45, 0.65)),
+        ("fixed_trip_fraction", ParamRange(0.80, 0.95)),
+        ("mean_loop_trips", ParamRange(12.0, 28.0)),
+        ("frac_int_mult", ParamRange(0.08, 0.15)),
+        ("stream_prob", ParamRange(0.50, 0.70)),
+        ("stack_prob", ParamRange(0.10, 0.20)),
+    ),
+    fus=ParamRange(3, 4, "int"),
+))
+
+_register(ScenarioFamily(
+    name="bursty_idle",
+    description=(
+        "Long predictable compute bursts separated by cold sweeps over a "
+        "big heap: bimodal idle intervals, the adaptive policies' regime."
+    ),
+    base=(
+        ("first_source_prob", 0.8),
+    ),
+    ranges=(
+        ("loop_branch_fraction", ParamRange(0.40, 0.60)),
+        ("mean_loop_trips", ParamRange(16.0, 40.0)),
+        ("fixed_trip_fraction", ParamRange(0.30, 0.60)),
+        ("frac_load", ParamRange(0.26, 0.34)),
+        ("load_chain_prob", ParamRange(0.30, 0.60)),
+        ("mean_dep_distance", ParamRange(3.0, 7.0)),
+        ("heap_bytes", ParamRange(2 * _MB, 16 * _MB, "log_int")),
+        ("heap_hot_prob", ParamRange(0.70, 0.90)),
+        ("stack_prob", ParamRange(0.05, 0.20)),
+        ("stream_prob", ParamRange(0.05, 0.20)),
+    ),
+    fus=ParamRange(2, 3, "int"),
+))
+
+
+def family_names() -> List[str]:
+    """The base (non-composite) family names, in registration order."""
+    return list(FAMILIES)
+
+
+def template_fields() -> Dict[str, Value]:
+    """A copy of the neutral template every family samples on top of.
+
+    Exposed so the sampling-definitions digest can cover it: template
+    edits change every sampled scenario just as surely as range edits do.
+    """
+    return dict(_TEMPLATE)
+
+
+def get_family(name: str) -> ScenarioFamily:
+    """Look a family up by name, suggesting close matches on a miss."""
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        raise KeyError(
+            unknown_name_message("scenario family", name, FAMILIES)
+        ) from None

@@ -1,0 +1,161 @@
+"""Phased composite workloads: one trace, several behavioral phases.
+
+Real programs move through phases — a parser's token loop gives way to a
+pointer-chasing symbol pass — and phase changes are exactly what
+separates adaptive sleep policies from static ones: the idle-interval
+distribution the policy tuned itself to stops being the distribution it
+faces. :class:`PhasedProfile` models this by interleaving *member*
+profiles inside one committed-path trace, switching at configurable
+phase lengths.
+
+Semantics: each member behaves like a program region that *resumes* —
+its instruction stream is generated once (same static program, one
+continuous walk) and consumed chunk by chunk as its phases come around,
+so loop trip patterns, stream offsets, and predictor-visible structure
+carry across a member's phases instead of restarting.
+
+A ``PhasedProfile`` is a frozen dataclass, so it flows through
+:class:`~repro.exec.jobs.SimulationJob`, both cache layers, and the
+process-pool scheduler exactly like a plain profile; its canonical form
+(class tag + member profiles + phase lengths) keeps its cache keys
+disjoint from every member's own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.cpu.trace import TraceInstruction
+from repro.cpu.workloads import WorkloadProfile, generate_trace
+
+#: Per-member PC offset: members keep disjoint code regions so the
+#: I-cache and branch predictor see each phase's own footprint rather
+#: than accidental aliasing between members.
+MEMBER_PC_STRIDE = 0x0100_0000
+
+#: Code space between the base code region and the stack region bounds
+#: how many members can get disjoint PC regions.
+MAX_MEMBERS = 8
+
+
+@dataclass(frozen=True)
+class PhasedProfile:
+    """A composite workload cycling through member profiles.
+
+    ``phase_lengths[i]`` is the instruction count member ``i``
+    contributes per visit; the schedule cycles ``members[0], members[1],
+    ...`` until the requested trace length is reached. Data addresses
+    are deliberately *not* segregated per member: the members model
+    phases of one program sharing one heap/stack, so cross-phase data
+    reuse (and its cache behavior) is part of the model.
+    """
+
+    name: str
+    members: Tuple[WorkloadProfile, ...]
+    phase_lengths: Tuple[int, ...]
+    suite: str = "phased"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.members) < 2:
+            raise ValueError(
+                f"{self.name}: a phased workload needs >= 2 members, "
+                f"got {len(self.members)}"
+            )
+        if len(self.members) > MAX_MEMBERS:
+            raise ValueError(
+                f"{self.name}: at most {MAX_MEMBERS} members supported, "
+                f"got {len(self.members)}"
+            )
+        if len(self.phase_lengths) != len(self.members):
+            raise ValueError(
+                f"{self.name}: {len(self.phase_lengths)} phase lengths for "
+                f"{len(self.members)} members"
+            )
+        for length in self.phase_lengths:
+            if length < 1:
+                raise ValueError(
+                    f"{self.name}: phase lengths must be >= 1, got {length}"
+                )
+        names = [member.name for member in self.members]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"{self.name}: member names must be distinct, got {names} "
+                f"(each member's trace stream is derived from its name)"
+            )
+
+    @property
+    def reference_fus(self) -> int:
+        """FU count covering every phase: the widest member's need."""
+        return max(member.reference_fus for member in self.members)
+
+    def phase_schedule(
+        self, num_instructions: int
+    ) -> List[Tuple[int, int]]:
+        """The ``(member_index, length)`` phases covering a trace.
+
+        Cycles through members in order; the final phase is truncated to
+        land exactly on ``num_instructions``.
+        """
+        if num_instructions < 1:
+            raise ValueError(
+                f"num_instructions must be >= 1, got {num_instructions}"
+            )
+        schedule: List[Tuple[int, int]] = []
+        remaining = num_instructions
+        index = 0
+        while remaining > 0:
+            member = index % len(self.members)
+            length = min(self.phase_lengths[member], remaining)
+            schedule.append((member, length))
+            remaining -= length
+            index += 1
+        return schedule
+
+    def build_trace(
+        self, num_instructions: int, seed: int
+    ) -> List[TraceInstruction]:
+        """The composite committed-path trace (the hook
+        :func:`~repro.cpu.workloads.generate_trace` dispatches to).
+
+        Deterministic in (profile, num_instructions, seed). Dependency
+        distances are kept verbatim: a distance reaching past a phase
+        boundary lands on another member's instructions, which is the
+        composite-trace analogue of cross-phase register reuse and stays
+        within :func:`~repro.cpu.trace.validate_trace`'s bounds because
+        a member's in-stream position never exceeds its global position.
+        """
+        schedule = self.phase_schedule(num_instructions)
+        contributions = [0] * len(self.members)
+        for member, length in schedule:
+            contributions[member] += length
+
+        streams: List[List[TraceInstruction]] = []
+        for index, member in enumerate(self.members):
+            if contributions[index] == 0:
+                streams.append([])
+                continue
+            offset = index * MEMBER_PC_STRIDE
+            streams.append([
+                TraceInstruction(
+                    instr.op,
+                    instr.pc + offset,
+                    dep1=instr.dep1,
+                    dep2=instr.dep2,
+                    address=instr.address,
+                    taken=instr.taken,
+                    target=instr.target + offset if instr.target else 0,
+                )
+                for instr in generate_trace(
+                    member, contributions[index], seed=seed
+                )
+            ])
+
+        trace: List[TraceInstruction] = []
+        cursors = [0] * len(self.members)
+        for member, length in schedule:
+            start = cursors[member]
+            trace.extend(streams[member][start:start + length])
+            cursors[member] = start + length
+        return trace

@@ -1,0 +1,271 @@
+"""Deterministic scenario sampling with stable IDs.
+
+A :class:`ScenarioSpace` names the families to draw from and a seed;
+:func:`sample_scenarios` expands it into concrete :class:`Scenario`
+objects. Determinism is the contract the whole subsystem is built on:
+
+* every draw flows through a :class:`~repro.util.rng.DeterministicRng`
+  child keyed by ``(space seed, family, per-family index)``, so scenario
+  ``k`` of a family is the same workload no matter how many scenarios
+  are sampled around it;
+* the scenario ID embeds a digest of the sampled parameters
+  (:func:`repro.exec.hashing.canonical_key`, unversioned), so the same
+  seed yields the same IDs and byte-identical traces — and an ID can
+  never silently mean a different workload;
+* sampled profiles are :class:`ScenarioWorkload`\\ s carrying their
+  family name and the :func:`definitions_digest` of the family
+  definitions they were drawn from, both of which are dataclass fields
+  and therefore folded into exec-layer cache keys: change a family's
+  ranges and every cached scenario result is invalidated, exactly like
+  the model fingerprint invalidates on simulator edits.
+
+The pseudo-family ``"phased"`` composes two base-family draws into a
+:class:`~repro.scenarios.phased.PhasedProfile` with sampled phase
+lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.cpu.workloads import WorkloadProfile
+from repro.exec.hashing import canonical_key
+from repro.scenarios.families import (
+    FAMILIES,
+    ParamRange,
+    family_names,
+    template_fields,
+)
+from repro.scenarios.phased import PhasedProfile
+from repro.util.lookup import unknown_name_message
+from repro.util.rng import DeterministicRng
+
+#: Bump when the sampling scheme changes meaning (draw order, ID format);
+#: folded into :func:`definitions_digest` so stale catalogs and cached
+#: scenario results are invalidated together.
+SCENARIO_SCHEMA_VERSION = 1
+
+#: Instructions per phase visit for sampled phased scenarios: short
+#: enough that quick-scale windows see several switches, long enough
+#: that each phase settles into its member's steady state.
+PHASE_LENGTH_RANGE = ParamRange(1500, 6000, "int")
+
+#: The composite pseudo-family (member draws come from the base families).
+PHASED_FAMILY = "phased"
+
+
+@dataclass(frozen=True)
+class ScenarioWorkload(WorkloadProfile):
+    """A sampled profile that knows where it came from.
+
+    ``family`` and ``catalog_digest`` ride along as dataclass fields, so
+    the exec layer's canonical keys (and the in-process memo) separate
+    scenario-backed simulations from hand-registered benchmarks — and
+    from scenarios sampled under different family definitions.
+    """
+
+    family: str = ""
+    catalog_digest: str = ""
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One sampled point of the space, ready to simulate."""
+
+    scenario_id: str
+    family: str
+    index: int
+    profile: Union[ScenarioWorkload, PhasedProfile]
+
+    @property
+    def num_fus(self) -> int:
+        """The sampled FU width — the profile self-describes it (plain
+        profiles carry the draw in ``reference_fus``, composites report
+        their widest member), so it cannot drift from what simulates."""
+        return self.profile.reference_fus
+
+
+@dataclass(frozen=True)
+class ScenarioSpace:
+    """The samplable space: which families, under which seed."""
+
+    families: Tuple[str, ...]
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.families:
+            raise ValueError("scenario space needs at least one family")
+        if len(set(self.families)) != len(self.families):
+            raise ValueError(f"duplicate families in {self.families}")
+        known = set(family_names()) | {PHASED_FAMILY}
+        for name in self.families:
+            if name not in known:
+                raise ValueError(
+                    unknown_name_message("scenario family", name, known)
+                )
+
+    def sample(self, count: int) -> List["Scenario"]:
+        return sample_scenarios(count, seed=self.seed, families=self.families)
+
+
+#: Default space: every base family plus the phased composites.
+DEFAULT_SPACE = ScenarioSpace(
+    families=tuple(family_names()) + (PHASED_FAMILY,)
+)
+
+
+def definitions_digest() -> str:
+    """Canonical digest of everything that defines the sampling.
+
+    Covers the neutral template, the family registry (bases, ranges, FU
+    ranges), the phased sampling constants, and the schema version.
+    Stamped into every :class:`ScenarioWorkload` and the on-disk
+    catalog; if any of these change, the digest — and therefore every
+    scenario cache key — changes with them.
+    """
+    return canonical_key(
+        {
+            "kind": "scenario-definitions",
+            "version": SCENARIO_SCHEMA_VERSION,
+            "template": template_fields(),
+            "families": FAMILIES,
+            "phase_lengths": PHASE_LENGTH_RANGE,
+        },
+        versioned=False,
+    )
+
+
+def _scenario_id(family: str, seed: int, index: int, payload: object) -> str:
+    digest = canonical_key(payload, versioned=False)[:8]
+    return f"scn-{family}-{seed}-{index:03d}-{digest}"
+
+
+def _sample_plain(
+    family_name: str, seed: int, index: int, digest: str
+) -> Scenario:
+    """One scenario of a base family (draws: fields, then FU count)."""
+    family = FAMILIES[family_name]
+    rng = DeterministicRng(seed).child("scenario", family_name, index)
+    fields = family.sample_fields(rng)
+    num_fus = family.sample_fus(rng)
+    # The profile self-describes its sampled FU width, exactly as the
+    # seed benchmarks carry their Table 3 selection.
+    fields["reference_fus"] = num_fus
+    scenario_id = _scenario_id(
+        family_name, seed, index,
+        {"family": family_name, "fields": fields, "fus": num_fus},
+    )
+    profile = ScenarioWorkload(
+        name=scenario_id,
+        description=family.description,
+        family=family_name,
+        catalog_digest=digest,
+        **fields,
+    )
+    return Scenario(
+        scenario_id=scenario_id,
+        family=family_name,
+        index=index,
+        profile=profile,
+    )
+
+
+def _sample_phased(
+    seed: int, index: int, digest: str, bases: Sequence[str]
+) -> Scenario:
+    """One composite scenario: two member draws from the space's base
+    families (distinct families whenever more than one is available),
+    resumed in alternating phases of sampled length."""
+    rng = DeterministicRng(seed).child("scenario", PHASED_FAMILY, index)
+    first = rng.randint(0, len(bases) - 1)
+    if len(bases) > 1:
+        second = (first + 1 + rng.randint(0, len(bases) - 2)) % len(bases)
+    else:
+        second = first
+    member_draws = []
+    for position, base in enumerate((bases[first], bases[second])):
+        member_rng = rng.child("member", position)
+        family = FAMILIES[base]
+        fields = family.sample_fields(member_rng)
+        fus = family.sample_fus(member_rng)
+        fields["reference_fus"] = fus
+        member_draws.append((base, fields, fus))
+    lengths = tuple(
+        int(PHASE_LENGTH_RANGE.sample(rng)) for _ in member_draws
+    )
+    scenario_id = _scenario_id(
+        PHASED_FAMILY, seed, index,
+        {
+            "family": PHASED_FAMILY,
+            "members": [
+                {"family": base, "fields": fields, "fus": fus}
+                for base, fields, fus in member_draws
+            ],
+            "lengths": list(lengths),
+        },
+    )
+    members = tuple(
+        ScenarioWorkload(
+            name=f"{scenario_id}-m{position}",
+            description=FAMILIES[base].description,
+            family=base,
+            catalog_digest=digest,
+            **fields,
+        )
+        for position, (base, fields, _) in enumerate(member_draws)
+    )
+    profile = PhasedProfile(
+        name=scenario_id,
+        members=members,
+        phase_lengths=lengths,
+        description="phased composite: " + " / ".join(
+            base for base, _, _ in member_draws
+        ),
+    )
+    return Scenario(
+        scenario_id=scenario_id,
+        family=PHASED_FAMILY,
+        index=index,
+        profile=profile,
+    )
+
+
+def sample_scenarios(
+    count: int,
+    seed: int = 1,
+    families: Optional[Sequence[str]] = None,
+) -> List[Scenario]:
+    """Sample ``count`` scenarios, round-robin across ``families``.
+
+    Scenario ``i`` belongs to ``families[i % len(families)]`` with
+    per-family index ``i // len(families)``, so growing ``count`` only
+    *appends* scenarios — every prefix is stable.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    space = ScenarioSpace(
+        families=(
+            tuple(families) if families is not None else DEFAULT_SPACE.families
+        ),
+        seed=seed,
+    )
+    digest = definitions_digest()
+    scenarios: List[Scenario] = []
+    names = space.families
+    # Phased members come from the space's own base families, so a
+    # family-restricted run is never contaminated by excluded behavior;
+    # a pure-phased space falls back to the full base registry.
+    bases = tuple(n for n in names if n != PHASED_FAMILY) or tuple(
+        family_names()
+    )
+    for i in range(count):
+        family = names[i % len(names)]
+        index = i // len(names)
+        if family == PHASED_FAMILY:
+            scenarios.append(
+                _sample_phased(space.seed, index, digest, bases)
+            )
+        else:
+            scenarios.append(_sample_plain(family, space.seed, index, digest))
+    return scenarios

@@ -1,0 +1,26 @@
+"""Shared name-lookup ergonomics for the registries.
+
+Both benchmark and scenario-family lookups want the same failure mode:
+suggest close matches for a typo instead of dumping the registry, but
+fall back to the full (short) list when nothing is close.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Iterable
+
+
+def unknown_name_message(kind: str, name: str, known: Iterable[str]) -> str:
+    """The error text for a failed registry lookup.
+
+    >>> unknown_name_message("benchmark", "gzp", ["gzip", "mcf"])
+    "unknown benchmark 'gzp'; did you mean gzip?"
+    """
+    candidates = list(known)
+    close = difflib.get_close_matches(name, candidates, n=3, cutoff=0.5)
+    if close:
+        hint = f"did you mean {', '.join(close)}?"
+    else:
+        hint = f"known: {', '.join(sorted(candidates))}"
+    return f"unknown {kind} {name!r}; {hint}"

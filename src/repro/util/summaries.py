@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+import numpy
+
 
 def arithmetic_mean(values: Sequence[float]) -> float:
     """Plain average; raises on an empty sequence."""
@@ -38,6 +40,21 @@ def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
     if total_weight == 0:
         raise ValueError("weights must not all be zero")
     return sum(v * w for v, w in zip(values, weights)) / total_weight
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile of ``values`` (numpy's default linear
+    interpolation, with the endpoints at the sample extremes).
+
+    A thin validating wrapper so callers get the same empty/range error
+    style as the other summaries. Used for the robustness experiment's
+    per-policy savings distributions.
+    """
+    if len(values) == 0:  # not `not values`: arrays are ambiguous there
+        raise ValueError("cannot take a quantile of an empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    return float(numpy.quantile(numpy.asarray(values, dtype=float), q))
 
 
 def relative_difference(value: float, reference: float) -> float:

@@ -131,3 +131,53 @@ class TestPerfSubcommand:
         assert "frontier" in out
         assert "MaxSleep" in out and "GradualSleep" in out
         assert "wakeup latency 4 cycles" in out
+
+
+class TestRobustnessSubcommand:
+    def test_robustness_flags_parse(self):
+        args = cli.build_parser().parse_args(
+            [
+                "robustness",
+                "--scenarios", "80",
+                "--scenario-seed", "3",
+                "--families", "fp_dense,phased",
+                "--p", "0.05",
+                "--catalog", "/tmp/catalog.json",
+            ]
+        )
+        assert args.experiment == "robustness"
+        assert args.scenarios == 80
+        assert args.scenario_seed == 3
+        assert args.families == "fp_dense,phased"
+        assert args.p == 0.05
+        assert args.catalog == "/tmp/catalog.json"
+
+    def test_robustness_listed(self, capsys):
+        assert cli.main(["list"]) == 0
+        assert "robustness" in capsys.readouterr().out.split()
+
+    def test_robustness_quick_renders_report(
+        self, capsys, restore_engine_state, tmp_path
+    ):
+        catalog_path = tmp_path / "catalog.json"
+        assert (
+            cli.main(
+                [
+                    "robustness",
+                    "--quick",
+                    "--scenarios", "6",
+                    "--families", "ilp_rich,bursty_idle",
+                    "--catalog", str(catalog_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Policy robustness: 6 scenarios" in out
+        assert "ranking stability" in out.lower()
+        assert catalog_path.exists()
+        from repro.scenarios import load_catalog
+
+        _, scenarios = load_catalog(catalog_path)
+        assert len(scenarios) == 6
+        assert {s.family for s in scenarios} == {"ilp_rich", "bursty_idle"}

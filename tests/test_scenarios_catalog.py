@@ -1,0 +1,137 @@
+"""The on-disk scenario catalog: round trips and digest linkage."""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    definitions_digest,
+    load_catalog,
+    sample_scenarios,
+    write_catalog,
+)
+from repro.scenarios.catalog import CATALOG_FORMAT_VERSION, catalog_payload
+from repro.cpu.workloads import generate_trace
+
+
+class TestRoundTrip:
+    def test_scenarios_survive_write_and_load(self, tmp_path):
+        scenarios = sample_scenarios(12, seed=21)
+        path = write_catalog(scenarios, tmp_path / "catalog.json")
+        digest, loaded = load_catalog(path)
+        assert digest == definitions_digest()
+        assert loaded == scenarios  # dataclass equality, profiles included
+
+    def test_loaded_profiles_generate_identical_traces(self, tmp_path):
+        scenarios = sample_scenarios(6, seed=8)
+        path = write_catalog(scenarios, tmp_path / "catalog.json")
+        _, loaded = load_catalog(path)
+        for original, restored in zip(scenarios, loaded):
+            assert (
+                generate_trace(original.profile, 2_000, seed=1)
+                == generate_trace(restored.profile, 2_000, seed=1)
+            )
+
+    def test_plain_profile_members_keep_their_class(self, tmp_path):
+        """A composite built from plain WorkloadProfiles (no sampling)
+        must round-trip to the same classes — the class tag is part of
+        cache identity, so coercing members to ScenarioWorkload would
+        silently miss the original run's cache entries."""
+        from repro.cpu.workloads import WorkloadProfile, get_benchmark
+        from repro.scenarios import PhasedProfile, Scenario
+
+        handmade = Scenario(
+            scenario_id="handmade-phased",
+            family="phased",
+            index=0,
+            profile=PhasedProfile(
+                name="gzip-mcf",
+                members=(get_benchmark("gzip"), get_benchmark("mcf")),
+                phase_lengths=(1_000, 1_000),
+                suite="custom-suite",  # non-default: must survive reload
+            ),
+        )
+        path = write_catalog([handmade], tmp_path / "catalog.json")
+        _, (loaded,) = load_catalog(path)
+        assert loaded == handmade
+        for member in loaded.profile.members:
+            assert type(member) is WorkloadProfile
+
+    def test_rejects_unknown_profile_class(self, tmp_path):
+        document = catalog_payload(sample_scenarios(1, seed=1))
+        document["scenarios"][0]["profile"]["__profile_class__"] = "Exotic"
+        path = tmp_path / "catalog.json"
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="unknown catalog profile class"):
+            load_catalog(path)
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "catalog.json"
+        write_catalog(sample_scenarios(2, seed=1), target)
+        assert target.exists()
+
+    def test_payload_shape(self):
+        scenarios = sample_scenarios(6, seed=4)
+        payload = catalog_payload(scenarios)
+        assert payload["format"] == CATALOG_FORMAT_VERSION
+        assert payload["definitions_digest"] == definitions_digest()
+        kinds = {entry["kind"] for entry in payload["scenarios"]}
+        assert kinds == {"profile", "phased"}
+        phased = next(
+            e for e in payload["scenarios"] if e["kind"] == "phased"
+        )
+        assert len(phased["members"]) == 2
+        assert len(phased["phase_lengths"]) == 2
+
+    def test_json_is_deterministic(self, tmp_path):
+        scenarios = sample_scenarios(5, seed=2)
+        first = write_catalog(scenarios, tmp_path / "a.json").read_text()
+        second = write_catalog(scenarios, tmp_path / "b.json").read_text()
+        assert first == second
+
+
+class TestErrors:
+    def test_rejects_unknown_format_version(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        document = catalog_payload(sample_scenarios(1, seed=1))
+        document["format"] = 999
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="unsupported catalog format"):
+            load_catalog(path)
+
+    def test_rewritten_catalog_keeps_the_profiles_own_digest(self, tmp_path):
+        """Re-serializing loaded scenarios must stamp the digest their
+        profiles carry, not whatever the registry digests to today."""
+        import dataclasses
+
+        scenarios = sample_scenarios(2, seed=1)
+        aged = []
+        for scenario in scenarios:
+            profile = dataclasses.replace(
+                scenario.profile, catalog_digest="f" * 64
+            )
+            aged.append(dataclasses.replace(scenario, profile=profile))
+        path = write_catalog(aged, tmp_path / "aged.json")
+        digest, _ = load_catalog(path)
+        assert digest == "f" * 64
+
+    def test_mixed_definition_digests_rejected(self):
+        import dataclasses
+
+        first, second = sample_scenarios(2, seed=1)
+        tampered = dataclasses.replace(
+            second,
+            profile=dataclasses.replace(
+                second.profile, catalog_digest="a" * 64
+            ),
+        )
+        with pytest.raises(ValueError, match="different definition digests"):
+            catalog_payload([first, tampered])
+
+    def test_rejects_unknown_entry_kind(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        document = catalog_payload(sample_scenarios(1, seed=1))
+        document["scenarios"][0]["kind"] = "mystery"
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="unknown catalog entry kind"):
+            load_catalog(path)

@@ -1,0 +1,253 @@
+"""The scenario space: families, deterministic sampling, stable IDs.
+
+The determinism gate lives here: sampling the same space with the same
+seed must yield identical scenario IDs and byte-identical traces
+(asserted with ``==``), and scenario-backed jobs must occupy cache keys
+disjoint from the nine seed benchmarks'.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cpu.trace import validate_trace
+from repro.cpu.workloads import BENCHMARKS, WorkloadProfile, generate_trace
+from repro.exec.jobs import SimulationJob
+from repro.experiments.common import DEFAULT_SCALE, benchmark_jobs
+from repro.experiments.robustness import robustness_jobs
+from repro.scenarios import (
+    DEFAULT_SPACE,
+    FAMILIES,
+    PHASED_FAMILY,
+    ParamRange,
+    ScenarioSpace,
+    ScenarioWorkload,
+    definitions_digest,
+    family_names,
+    get_family,
+    sample_scenarios,
+)
+from repro.scenarios.phased import PhasedProfile
+from repro.util.rng import DeterministicRng
+
+
+class TestFamilies:
+    def test_the_five_families_exist(self):
+        assert family_names() == [
+            "memory_bound", "branch_heavy", "fp_dense", "ilp_rich",
+            "bursty_idle",
+        ]
+
+    def test_get_family_suggests_close_matches(self):
+        with pytest.raises(KeyError, match="did you mean memory_bound"):
+            get_family("memory-bound")
+
+    def test_get_family_lists_known_when_no_match(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_family("zzz")
+
+    def test_param_range_kinds(self):
+        rng = DeterministicRng(5)
+        assert isinstance(ParamRange(1, 9, "int").sample(rng), int)
+        drawn = ParamRange(0.2, 0.4).sample(rng)
+        assert 0.2 <= drawn <= 0.4
+        log_drawn = ParamRange(1024, 1024 * 1024, "log_int").sample(rng)
+        assert 1024 <= log_drawn <= 1024 * 1024
+
+    def test_param_range_rejects_bad_specs(self):
+        with pytest.raises(ValueError, match="kind"):
+            ParamRange(0, 1, "gaussian")
+        with pytest.raises(ValueError, match="empty range"):
+            ParamRange(2, 1)
+        with pytest.raises(ValueError, match="positive lower bound"):
+            ParamRange(0, 8, "log_int")
+
+    def test_every_family_samples_valid_profiles(self):
+        """Any draw in any family must satisfy WorkloadProfile validation
+        (construction runs __post_init__) across many seeds."""
+        for name, family in FAMILIES.items():
+            for k in range(25):
+                rng = DeterministicRng(k).child("validity", name)
+                profile = ScenarioWorkload(
+                    name=f"check-{name}-{k}",
+                    description="validity check",
+                    family=name,
+                    **family.sample_fields(rng),
+                )
+                assert 1 <= family.sample_fus(rng) <= 4
+                assert profile.frac_int_alu >= 0.0
+
+
+class TestSampling:
+    def test_same_seed_same_ids_and_scenarios(self):
+        first = sample_scenarios(18, seed=42)
+        second = sample_scenarios(18, seed=42)
+        assert [s.scenario_id for s in first] == [
+            s.scenario_id for s in second
+        ]
+        assert first == second  # full dataclass equality, profiles included
+
+    def test_different_seed_different_scenarios(self):
+        assert sample_scenarios(6, seed=1) != sample_scenarios(6, seed=2)
+
+    def test_prefix_stability(self):
+        """Growing the count appends; existing scenarios never change."""
+        assert sample_scenarios(7, seed=3) == sample_scenarios(19, seed=3)[:7]
+
+    def test_round_robin_family_assignment(self):
+        scenarios = sample_scenarios(13, seed=1)
+        expected = list(DEFAULT_SPACE.families)
+        for i, scenario in enumerate(scenarios):
+            assert scenario.family == expected[i % len(expected)]
+            assert scenario.index == i // len(expected)
+
+    def test_ids_embed_family_seed_and_index(self):
+        scenario = sample_scenarios(7, seed=9)[6]
+        assert scenario.scenario_id.startswith("scn-memory_bound-9-001-")
+
+    def test_family_subset_sampling(self):
+        scenarios = sample_scenarios(6, seed=1, families=["fp_dense"])
+        assert all(s.family == "fp_dense" for s in scenarios)
+        assert all(s.profile.frac_fp >= 0.20 for s in scenarios)
+
+    def test_phased_scenarios_compose_two_base_families(self):
+        scenarios = sample_scenarios(4, seed=5, families=[PHASED_FAMILY])
+        for scenario in scenarios:
+            assert isinstance(scenario.profile, PhasedProfile)
+            first, second = scenario.profile.members
+            assert first.family != second.family
+            assert scenario.num_fus == max(
+                m.reference_fus for m in scenario.profile.members
+            )
+
+    def test_phased_members_respect_family_restriction(self):
+        """A family-restricted space must not leak excluded families into
+        phased members (the catalog and per-family tables would lie)."""
+        scenarios = sample_scenarios(
+            4, seed=5, families=["fp_dense", PHASED_FAMILY]
+        )
+        for scenario in scenarios:
+            if scenario.family == PHASED_FAMILY:
+                assert all(
+                    m.family == "fp_dense" for m in scenario.profile.members
+                )
+
+    def test_space_rejects_bad_families(self):
+        with pytest.raises(ValueError, match="unknown scenario family"):
+            ScenarioSpace(families=("no_such_family",))
+        with pytest.raises(ValueError, match="duplicate"):
+            ScenarioSpace(families=("fp_dense", "fp_dense"))
+        with pytest.raises(ValueError, match="at least one"):
+            ScenarioSpace(families=())
+
+    def test_space_family_typo_gets_suggestions(self):
+        """The runtime path users hit (CLI --families) must suggest
+        close matches, same as get_family()."""
+        with pytest.raises(ValueError, match="did you mean memory_bound"):
+            ScenarioSpace(families=("memory-bound",))
+        with pytest.raises(ValueError, match="did you mean phased"):
+            sample_scenarios(2, families=["phases"])
+
+    def test_count_must_be_positive(self):
+        with pytest.raises(ValueError, match="count"):
+            sample_scenarios(0)
+
+
+class TestTraceDeterminism:
+    """The gate: same seed => byte-identical traces, asserted with ==."""
+
+    def test_sampled_scenario_traces_identical(self):
+        for scenario in sample_scenarios(6, seed=77):
+            first = generate_trace(scenario.profile, 2_500, seed=4)
+            second = generate_trace(scenario.profile, 2_500, seed=4)
+            assert first == second
+            validate_trace(first)
+
+    def test_resampled_space_reproduces_traces(self):
+        """Traces survive a full resample round trip, not just an object
+        identity: sample -> trace == resample -> trace."""
+        first = sample_scenarios(6, seed=13)
+        second = sample_scenarios(6, seed=13)
+        for a, b in zip(first, second):
+            assert a.profile is not b.profile
+            assert (
+                generate_trace(a.profile, 2_000, seed=1)
+                == generate_trace(b.profile, 2_000, seed=1)
+            )
+
+
+class TestCacheIdentity:
+    def test_scenario_jobs_disjoint_from_seed_benchmarks(self):
+        """Scenario-backed jobs must never collide with the nine seed
+        benchmarks in the persistent cache."""
+        bench_keys = {
+            job.cache_key()
+            for job in benchmark_jobs(scale=DEFAULT_SCALE)
+        }
+        scenario_keys = {
+            job.cache_key()
+            for job in robustness_jobs(
+                sample_scenarios(12, seed=1), scale=DEFAULT_SCALE
+            )
+        }
+        assert len(scenario_keys) == 12  # all distinct among themselves
+        assert bench_keys.isdisjoint(scenario_keys)
+
+    def test_catalog_digest_is_part_of_the_cache_key(self):
+        """Changing the family definitions (digest) must invalidate
+        cached scenario results even if every sampled field matches."""
+        scenario = sample_scenarios(1, seed=1)[0]
+        profile = scenario.profile
+        assert isinstance(profile, ScenarioWorkload)
+        assert profile.catalog_digest == definitions_digest()
+        altered = dataclasses.replace(profile, catalog_digest="0" * 64)
+        job = SimulationJob(profile=profile, num_instructions=2_000)
+        altered_job = SimulationJob(profile=altered, num_instructions=2_000)
+        assert job.cache_key() != altered_job.cache_key()
+
+    def test_scenario_workload_distinct_from_plain_profile(self):
+        """A ScenarioWorkload never collides with a WorkloadProfile of
+        identical field values (class tag is part of the canonical form)."""
+        scenario = sample_scenarios(1, seed=1)[0]
+        profile = scenario.profile
+        base_fields = {
+            field.name: getattr(profile, field.name)
+            for field in dataclasses.fields(WorkloadProfile)
+        }
+        plain = WorkloadProfile(**base_fields)
+        assert (
+            SimulationJob(profile=profile, num_instructions=2_000).cache_key()
+            != SimulationJob(profile=plain, num_instructions=2_000).cache_key()
+        )
+
+    def test_definitions_digest_stable_within_process(self):
+        assert definitions_digest() == definitions_digest()
+        assert len(definitions_digest()) == 64
+
+    def test_template_edits_change_the_digest(self, monkeypatch):
+        """The digest must cover the shared template, not just the
+        family ranges — template edits change every sampled scenario."""
+        from repro.scenarios import families as families_module
+
+        before = definitions_digest()
+        edited = dict(families_module._TEMPLATE)
+        edited["stack_prob"] = 0.31
+        monkeypatch.setattr(families_module, "_TEMPLATE", edited)
+        assert definitions_digest() != before
+
+    def test_family_range_edits_change_the_digest(self, monkeypatch):
+        from repro.scenarios import families as families_module
+
+        before = definitions_digest()
+        family = families_module.FAMILIES["fp_dense"]
+        import dataclasses
+
+        edited = dataclasses.replace(
+            family, fus=ParamRange(1, 4, "int")
+        )
+        monkeypatch.setitem(families_module.FAMILIES, "fp_dense", edited)
+        assert definitions_digest() != before
+
+    def test_sampled_names_do_not_shadow_benchmarks(self):
+        for scenario in sample_scenarios(12, seed=1):
+            assert scenario.scenario_id not in BENCHMARKS
