@@ -34,6 +34,23 @@ from repro.core import (
 
 __version__ = "1.0.0"
 
+
+def package_version() -> str:
+    """The installed distribution's version, as the CLI reports it.
+
+    Reads the ``repro-leakage-fu`` package metadata so an installed
+    wheel reports exactly what was installed; source-tree usage (e.g.
+    ``PYTHONPATH=src`` without an install) falls back to the in-tree
+    :data:`__version__`.
+    """
+    from importlib import metadata
+
+    try:
+        return metadata.version("repro-leakage-fu")
+    except metadata.PackageNotFoundError:
+        return __version__
+
+
 __all__ = [
     "AlwaysActivePolicy",
     "EnergyAccountant",
@@ -42,5 +59,6 @@ __all__ = [
     "NoOverheadPolicy",
     "TechnologyParameters",
     "breakeven_interval",
+    "package_version",
     "__version__",
 ]

@@ -16,7 +16,12 @@ Execution-engine flags apply to every experiment: ``--jobs N`` fans
 simulation batches out across N worker processes, ``--cache-dir`` points
 the persistent result cache somewhere other than ``~/.cache/repro``, and
 ``--no-cache`` disables the persistent layer (the in-process memo still
-applies).
+applies). ``--streaming``/``--no-streaming``/``--chunk-size`` control
+bounded-memory chunked trace delivery (default: automatic by trace
+length; results are float-for-float identical either way), which is
+what lets ``repro robustness --instructions 10000000`` run
+10M+-instruction scenarios without materializing their traces.
+``repro --version`` reports the installed package version.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ import argparse
 import sys
 from typing import Callable, Dict
 
+from repro import package_version
 from repro.experiments import (
     ablations,
     figure3,
@@ -67,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
             "'Managing Static Leakage Energy in Microprocessor "
             "Functional Units' (MICRO 2002)."
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {package_version()}",
     )
     parser.add_argument(
         "experiment",
@@ -159,6 +170,15 @@ def build_parser() -> argparse.ArgumentParser:
         + " (default: all)",
     )
     robust.add_argument(
+        "--instructions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="measured window per scenario, overriding the scale "
+        "(long horizons stream their traces in bounded memory, so 10M+ "
+        "is a time cost, not a memory cost; default: the scale's window)",
+    )
+    robust.add_argument(
         "--p",
         type=float,
         default=robustness.DEFAULT_P,
@@ -211,6 +231,7 @@ def _run_robustness(args: argparse.Namespace, scale: ExperimentScale) -> str:
             if args.alpha is not None
             else robustness.DEFAULT_ROBUSTNESS_ALPHA
         ),
+        instructions=args.instructions,
         jobs=args.jobs,
     )
     if args.catalog is not None:

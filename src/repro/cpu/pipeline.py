@@ -24,6 +24,16 @@ With a :class:`~repro.cpu.sleep.SleepRuntimeSpec` the integer FU pool
 runs closed-loop: units sleep under online policy control, an acquire
 that hits a sleeping unit triggers a wakeup and stalls until it
 completes, and those cycles are attributed as ``wakeup_stall_cycles``.
+
+The trace operand is any length-aware sequence. The model reads it
+through two near-sequential cursors — the fetch index, and the
+fetch-queue head during dispatch (which trails fetch by at most the
+fetch-queue depth) — and every statistic (idle histograms, sleep
+tallies, stall counts) accumulates online, cycle by cycle. A
+:class:`~repro.cpu.stream.StreamingTrace` therefore drops in for the
+materialized list unchanged: chunks are pulled on demand and evicted
+behind the dispatch cursor, so 10M+-instruction runs execute in
+bounded memory with bit-identical results.
 """
 
 from __future__ import annotations
@@ -96,7 +106,13 @@ class DeadlockError(RuntimeError):
 
 
 class Pipeline:
-    """One simulation instance; construct, then :meth:`run` once."""
+    """One simulation instance; construct, then :meth:`run` once.
+
+    ``trace`` may be a materialized list or a bounded-memory
+    :class:`~repro.cpu.stream.StreamingTrace`; the model's access
+    pattern (two monotone cursors, bounded lag) is exactly what the
+    streaming view's sliding window supports.
+    """
 
     def __init__(
         self,
@@ -105,7 +121,7 @@ class Pipeline:
         record_sequences: bool = True,
         sleep_spec: Optional[SleepRuntimeSpec] = None,
     ):
-        if not trace:
+        if len(trace) == 0:
             raise ValueError("cannot simulate an empty trace")
         self.trace = trace
         self.config = config if config is not None else MachineConfig()

@@ -26,7 +26,12 @@ from repro.cpu.config import MachineConfig
 from repro.cpu.pipeline import Pipeline
 from repro.cpu.sleep import SleepRuntimeSpec
 from repro.cpu.stats import SimulationStats
-from repro.cpu.workloads import WorkloadProfile, generate_trace
+from repro.cpu.stream import (
+    StreamingTrace,
+    resolve_chunk_size,
+    resolve_streaming,
+)
+from repro.cpu.workloads import WorkloadProfile, generate_trace, iter_trace
 from repro.exec import cache as result_cache
 from repro.exec.hashing import simulation_key
 
@@ -52,7 +57,17 @@ class SimulationResult:
 
 
 class Simulator:
-    """Builds traces and runs the pipeline for one workload profile."""
+    """Builds traces and runs the pipeline for one workload profile.
+
+    ``streaming`` selects how the trace is delivered to the pipeline:
+    ``True`` streams it chunk by chunk through a bounded-memory
+    :class:`~repro.cpu.stream.StreamingTrace`, ``False`` materializes
+    the full list, and ``None`` (default) decides automatically from
+    the total trace length. The two modes are float-for-float identical
+    (enforced by the streaming-equivalence CI gate), so the choice
+    affects peak memory only — results, statistics, and cache keys are
+    untouched.
+    """
 
     def __init__(
         self,
@@ -60,11 +75,15 @@ class Simulator:
         config: Optional[MachineConfig] = None,
         seed: int = 1,
         sleep: Optional[SleepRuntimeSpec] = None,
+        streaming: Optional[bool] = None,
+        chunk_size: Optional[int] = None,
     ):
         self.profile = profile
         self.config = config if config is not None else MachineConfig()
         self.seed = seed
         self.sleep = sleep
+        self.streaming = streaming
+        self.chunk_size = chunk_size
 
     def run(
         self,
@@ -75,10 +94,26 @@ class Simulator:
         """Generate the trace and simulate it to completion.
 
         The trace covers warmup plus the measured window; statistics are
-        collected only after ``warmup_instructions`` commit.
+        collected only after ``warmup_instructions`` commit. In
+        streaming mode generation is interleaved with consumption: the
+        pipeline pulls chunks on demand and at most a few chunks are
+        resident at once (for bounded *total* memory on long runs, also
+        pass ``record_sequences=False`` — ordered per-unit interval
+        lists grow with the run).
         """
         total = num_instructions + warmup_instructions
-        trace = generate_trace(self.profile, total, seed=self.seed)
+        if resolve_streaming(self.streaming, total):
+            trace = StreamingTrace(
+                iter_trace(
+                    self.profile,
+                    total,
+                    seed=self.seed,
+                    chunk_size=resolve_chunk_size(self.chunk_size),
+                ),
+                total,
+            )
+        else:
+            trace = generate_trace(self.profile, total, seed=self.seed)
         pipeline = Pipeline(
             trace,
             config=self.config,
@@ -226,13 +261,18 @@ def simulate_workload(
     use_cache: bool = True,
     sleep: Optional[SleepRuntimeSpec] = None,
     record_sequences: bool = True,
+    streaming: Optional[bool] = None,
+    chunk_size: Optional[int] = None,
 ) -> SimulationResult:
     """Run (or reuse) a simulation of ``profile`` on ``config``.
 
     The cache key covers everything that determines the outcome: the
     profile, window, warmup, seed, the machine configuration, and — for
-    closed-loop runs — the sleep runtime spec. ``use_cache=False``
-    bypasses both the memo and the persistent layer.
+    closed-loop runs — the sleep runtime spec. ``streaming`` and
+    ``chunk_size`` are deliberately *not* part of either cache layer's
+    key: streaming runs reproduce materialized runs float-for-float
+    (the equivalence gate), so the modes are interchangeable cache-wise.
+    ``use_cache=False`` bypasses both the memo and the persistent layer.
     """
     if config is None:
         config = MachineConfig()
@@ -248,7 +288,14 @@ def simulate_workload(
         )
         if hit is not None:
             return hit
-    result = Simulator(profile, config=config, seed=seed, sleep=sleep).run(
+    result = Simulator(
+        profile,
+        config=config,
+        seed=seed,
+        sleep=sleep,
+        streaming=streaming,
+        chunk_size=chunk_size,
+    ).run(
         num_instructions,
         warmup_instructions=warmup_instructions,
         record_sequences=record_sequences,

@@ -22,6 +22,13 @@ intervals are identical to a sleep-oblivious run, and the tallies price
 float-for-float identically to the open-loop histogram evaluation. A
 nonzero latency then yields empirical (not assumed) slowdown numbers.
 
+Because controllers react to acquire/release events and tallies
+accumulate cycle by cycle, the closed loop needs no access to the trace
+beyond the pipeline's own cursors: streamed
+(:class:`~repro.cpu.stream.StreamingTrace`) and materialized runs are
+bit-identical here too, which the streaming-equivalence gate asserts
+for closed-loop specs explicitly.
+
 Modeling choices, kept deliberately simple and documented here:
 
 * A failed acquire triggers a wakeup on the first free sleeping unit in

@@ -20,9 +20,10 @@ dataflow and locality models.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.cpu.isa import OpClass
+from repro.cpu.stream import DEFAULT_CHUNK_SIZE, TraceChunk, chunk_instructions
 from repro.cpu.trace import TraceInstruction
 from repro.util.lookup import unknown_name_message
 from repro.util.rng import DeterministicRng
@@ -413,38 +414,26 @@ class _AddressGenerator:
         return _HEAP_BASE + (self.rng.randint(0, span - 8) & ~7)
 
 
-def generate_trace(
+def _walk_trace(
     profile: WorkloadProfile,
     num_instructions: int,
-    seed: int = 1,
-) -> List[TraceInstruction]:
-    """Generate a committed-path trace of ``num_instructions`` entries.
+    seed: int,
+) -> Iterator[TraceInstruction]:
+    """The dynamic CFG walk, one instruction at a time.
 
-    Deterministic in (profile, num_instructions, seed); extending the
-    window preserves the prefix's structure (same static program).
-
-    Composite workloads (e.g. :class:`repro.scenarios.phased.PhasedProfile`)
-    provide their own ``build_trace(num_instructions, seed)`` method; the
-    simulator funnels every profile through this function, so the hook is
-    what lets them flow through jobs, caching, and the parallel engine
-    unchanged.
+    This is the single source of the instruction stream: both the
+    materialized API (:func:`generate_trace`) and the chunked iterator
+    (:func:`iter_trace`) drain this generator, so the two paths cannot
+    diverge — same RNG draw order, same instructions, byte for byte.
     """
-    if num_instructions < 1:
-        raise ValueError(
-            f"num_instructions must be >= 1, got {num_instructions}"
-        )
-    build = getattr(profile, "build_trace", None)
-    if build is not None:
-        return build(num_instructions, seed)
     structure_rng = DeterministicRng(seed).child(profile.name, "structure")
     walk_rng = DeterministicRng(seed).child(profile.name, "walk")
     data_rng = DeterministicRng(seed).child(profile.name, "data")
 
     program = _StaticProgram(profile, structure_rng)
     addresses = _AddressGenerator(profile, data_rng)
-    trace: List[TraceInstruction] = []
-    append = trace.append
 
+    position = 0
     current = 0
     call_stack: List[int] = []
     last_load_index = -1
@@ -462,13 +451,12 @@ def generate_trace(
         distance = data_rng.geometric(profile.mean_dep_distance)
         return min(distance, position)
 
-    while len(trace) < num_instructions:
+    while position < num_instructions:
         block = program.blocks[current]
         pc = block.start_pc
         for op in block.body:
-            position = len(trace)
             if position >= num_instructions:
-                return trace
+                return
             dep1 = draw_dep(position)
             dep2 = draw_dep(position) if data_rng.chance(
                 profile.second_source_prob
@@ -484,29 +472,26 @@ def generate_trace(
                 last_load_index = position
             elif op == OpClass.STORE:
                 address = addresses.next_address()
-            append(
-                TraceInstruction(
-                    op, pc, dep1=dep1, dep2=dep2, address=address
-                )
+            yield TraceInstruction(
+                op, pc, dep1=dep1, dep2=dep2, address=address
             )
+            position += 1
             pc += 4
 
         # Terminator.
-        position = len(trace)
         if position >= num_instructions:
-            return trace
+            return
         if block.terminator == _TERM_CALL:
             target_entry = program.call_targets[current]
             target_block = program.blocks[target_entry]
-            append(
-                TraceInstruction(
-                    OpClass.CALL,
-                    block.term_pc,
-                    dep1=draw_dep(position),
-                    taken=True,
-                    target=target_block.start_pc,
-                )
+            yield TraceInstruction(
+                OpClass.CALL,
+                block.term_pc,
+                dep1=draw_dep(position),
+                taken=True,
+                target=target_block.start_pc,
             )
+            position += 1
             call_stack.append((current + 1) % main_blocks)
             current = target_entry
         elif block.terminator == _TERM_RETURN:
@@ -515,14 +500,13 @@ def generate_trace(
             else:
                 return_block = walk_rng.randint(0, main_blocks - 1)
             target_pc = program.blocks[return_block].start_pc
-            append(
-                TraceInstruction(
-                    OpClass.RETURN,
-                    block.term_pc,
-                    taken=True,
-                    target=target_pc,
-                )
+            yield TraceInstruction(
+                OpClass.RETURN,
+                block.term_pc,
+                taken=True,
+                target=target_pc,
             )
+            position += 1
             current = return_block
         else:
             branch = block.branch
@@ -540,18 +524,80 @@ def generate_trace(
                 if next_block >= limit:
                     next_block = 0 if current < main_blocks else current
             target_pc = program.blocks[branch.target_block].start_pc
-            append(
-                TraceInstruction(
-                    OpClass.BRANCH,
-                    block.term_pc,
-                    dep1=draw_dep(position),
-                    taken=taken,
-                    target=target_pc,
-                )
+            yield TraceInstruction(
+                OpClass.BRANCH,
+                block.term_pc,
+                dep1=draw_dep(position),
+                taken=taken,
+                target=target_pc,
             )
+            position += 1
             current = next_block
 
-    return trace
+
+def iter_trace(
+    profile: WorkloadProfile,
+    num_instructions: int,
+    seed: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Iterator[TraceChunk]:
+    """Stream a committed-path trace as contiguous fixed-size chunks.
+
+    The chunked iterator protocol behind every bounded-memory run:
+    at most ``chunk_size`` instructions exist per yielded block, so
+    wrapping this in a :class:`~repro.cpu.stream.StreamingTrace` keeps
+    peak memory independent of ``num_instructions``. The instruction
+    stream — values and order — is identical to :func:`generate_trace`
+    for every (profile, num_instructions, seed); chunking only decides
+    where the block boundaries fall.
+
+    Composite workloads provide an
+    ``iter_trace_chunks(num_instructions, seed, chunk_size)`` hook
+    (e.g. :meth:`repro.scenarios.phased.PhasedProfile.iter_trace_chunks`,
+    which streams its member sources); profiles with only the legacy
+    ``build_trace`` hook are materialized and re-chunked, correct but
+    not bounded-memory.
+    """
+    if num_instructions < 1:
+        raise ValueError(
+            f"num_instructions must be >= 1, got {num_instructions}"
+        )
+    chunked = getattr(profile, "iter_trace_chunks", None)
+    if chunked is not None:
+        return chunked(num_instructions, seed, chunk_size=chunk_size)
+    build = getattr(profile, "build_trace", None)
+    if build is not None:
+        return chunk_instructions(build(num_instructions, seed), chunk_size)
+    return chunk_instructions(
+        _walk_trace(profile, num_instructions, seed), chunk_size
+    )
+
+
+def generate_trace(
+    profile: WorkloadProfile,
+    num_instructions: int,
+    seed: int = 1,
+) -> List[TraceInstruction]:
+    """Generate a committed-path trace of ``num_instructions`` entries.
+
+    Deterministic in (profile, num_instructions, seed); extending the
+    window preserves the prefix's structure (same static program).
+
+    Composite workloads (e.g. :class:`repro.scenarios.phased.PhasedProfile`)
+    provide their own ``build_trace(num_instructions, seed)`` method; the
+    simulator funnels every profile through this function, so the hook is
+    what lets them flow through jobs, caching, and the parallel engine
+    unchanged. For bounded memory on long traces, use :func:`iter_trace`
+    (same stream, chunked) instead of this materializing wrapper.
+    """
+    if num_instructions < 1:
+        raise ValueError(
+            f"num_instructions must be >= 1, got {num_instructions}"
+        )
+    build = getattr(profile, "build_trace", None)
+    if build is not None:
+        return build(num_instructions, seed)
+    return list(_walk_trace(profile, num_instructions, seed))
 
 
 # -- benchmark definitions (Table 3) -------------------------------------------

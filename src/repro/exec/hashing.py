@@ -36,10 +36,13 @@ CACHE_SCHEMA_VERSION = 2
 #: ``repro`` package root. Closed-loop runs consult the sleep policies
 #: *during* simulation, so the policy-defining core modules are in;
 #: phased composite profiles build their traces in
-#: ``scenarios/phased.py``, so it is in too. The downstream-only
-#: accounting/vectorization modules (and the scenario *sampling* code,
-#: which only decides which profiles exist, never what a given profile
-#: simulates to) stay out.
+#: ``scenarios/phased.py``, so it is in too. The ``cpu`` entry is a
+#: directory glob, so the streaming machinery (``cpu/stream.py``) — a
+#: trace-delivery layer whose equivalence gate makes it outcome-neutral,
+#: but which sits on the trace path all the same — is fingerprinted
+#: automatically. The downstream-only accounting/vectorization modules
+#: (and the scenario *sampling* code, which only decides which profiles
+#: exist, never what a given profile simulates to) stay out.
 _MODEL_SOURCES = (
     "cpu",
     "util/rng.py",

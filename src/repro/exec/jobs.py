@@ -45,6 +45,16 @@ class SimulationJob:
     #: Ordered per-unit interval lists are the dominant memory cost on
     #: long runs; jobs that only need histograms should leave this off.
     record_sequences: bool = True
+    #: Trace-delivery mode: True streams chunk by chunk in bounded
+    #: memory, False materializes, None decides by trace length (and
+    #: picks up the process-wide ``--streaming`` default when the engine
+    #: ships the job to a worker). Deliberately EXCLUDED from
+    #: :meth:`cache_key`: streaming runs reproduce materialized runs
+    #: float-for-float (the equivalence gate), so the modes must share
+    #: cache entries.
+    streaming: Optional[bool] = None
+    #: Instructions per streamed chunk; None uses the process default.
+    chunk_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_instructions < 1:
@@ -77,7 +87,12 @@ class SimulationJob:
         )
 
     def cache_key(self) -> str:
-        """Canonical versioned key; identical jobs always collide here."""
+        """Canonical versioned key; identical jobs always collide here.
+
+        ``streaming``/``chunk_size`` stay out on purpose: they select a
+        trace-delivery mechanism, not an outcome, so a streamed job must
+        hit the cache entry a materialized run wrote and vice versa.
+        """
         return simulation_key(
             self.profile,
             self.num_instructions,
@@ -91,7 +106,12 @@ class SimulationJob:
     def run(self) -> SimulationResult:
         """Execute the simulation directly, bypassing every cache layer."""
         return Simulator(
-            self.profile, config=self.config, seed=self.seed, sleep=self.sleep
+            self.profile,
+            config=self.config,
+            seed=self.seed,
+            sleep=self.sleep,
+            streaming=self.streaming,
+            chunk_size=self.chunk_size,
         ).run(
             self.num_instructions,
             warmup_instructions=self.warmup_instructions,

@@ -158,6 +158,7 @@ def run(
     policies: Sequence[str] = DEFAULT_ROBUSTNESS_POLICIES,
     p: float = DEFAULT_P,
     alpha: float = DEFAULT_ROBUSTNESS_ALPHA,
+    instructions: Optional[int] = None,
     jobs: Optional[int] = None,
 ) -> RobustnessResult:
     """Sample the space, simulate it through the engine, price the suite.
@@ -166,8 +167,21 @@ def run(
     cache keys (profile content + catalog digest + model fingerprint),
     so repeated runs of the same space are pure cache reads. The pricing
     pass is one vectorized evaluation per (scenario, policy).
+
+    ``instructions`` overrides the scale's measured window per scenario
+    (warmup and seed are kept). Long horizons are the point of the
+    override — idle-interval tails only show up over them — and they
+    run in bounded memory: at or beyond the streaming threshold every
+    simulation switches to the chunked trace path automatically, so
+    ``instructions=10_000_000`` is a time cost, not a memory cost.
     """
     check_alpha(alpha)
+    if instructions is not None:
+        scale = ExperimentScale(
+            window_instructions=instructions,
+            warmup_instructions=scale.warmup_instructions,
+            seed=scale.seed,
+        )
     names = list(policies)
     if not names:
         raise ValueError("robustness needs at least one policy")

@@ -23,6 +23,7 @@ import sys
 import time
 from typing import Callable, List, Optional, Tuple
 
+from repro.cpu import stream
 from repro.exec import cache as result_cache
 from repro.exec.engine import (
     BatchReport,
@@ -162,6 +163,23 @@ def add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the persistent result cache for this run",
     )
+    parser.add_argument(
+        "--streaming",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="force bounded-memory chunked trace streaming on "
+        "(--streaming) or off (--no-streaming); default: automatic — "
+        f"runs of >= {stream.STREAMING_THRESHOLD:,} total instructions "
+        "stream. Results are float-for-float identical either way",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="instructions per streamed trace chunk "
+        f"(default: {stream.DEFAULT_CHUNK_SIZE:,})",
+    )
 
 
 def apply_execution_arguments(args: argparse.Namespace) -> None:
@@ -169,6 +187,7 @@ def apply_execution_arguments(args: argparse.Namespace) -> None:
     result_cache.configure(cache_dir=args.cache_dir, enabled=not args.no_cache)
     if args.jobs is not None:
         set_default_workers(resolve_workers(args.jobs))
+    stream.set_default_streaming(args.streaming, chunk_size=args.chunk_size)
 
 
 def main(argv=None) -> int:

@@ -24,10 +24,11 @@ disjoint from every member's own.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Iterator, List, Tuple
 
+from repro.cpu.stream import DEFAULT_CHUNK_SIZE, TraceChunk, chunk_instructions
 from repro.cpu.trace import TraceInstruction
-from repro.cpu.workloads import WorkloadProfile, generate_trace
+from repro.cpu.workloads import WorkloadProfile, iter_trace
 
 #: Per-member PC offset: members keep disjoint code regions so the
 #: I-cache and branch predictor see each phase's own footprint rather
@@ -113,6 +114,68 @@ class PhasedProfile:
             index += 1
         return schedule
 
+    def _member_stream(
+        self, index: int, contribution: int, seed: int, chunk_size: int
+    ) -> Iterator[TraceInstruction]:
+        """Member ``index``'s single continuous stream, relocated.
+
+        Generated lazily through :func:`~repro.cpu.workloads.iter_trace`
+        so at most one chunk of each member's source exists at a time;
+        the per-member PC offset is applied instruction by instruction.
+        """
+        offset = index * MEMBER_PC_STRIDE
+        for chunk in iter_trace(
+            self.members[index], contribution, seed=seed, chunk_size=chunk_size
+        ):
+            for instr in chunk.instructions:
+                yield TraceInstruction(
+                    instr.op,
+                    instr.pc + offset,
+                    dep1=instr.dep1,
+                    dep2=instr.dep2,
+                    address=instr.address,
+                    taken=instr.taken,
+                    target=instr.target + offset if instr.target else 0,
+                )
+
+    def _interleave(
+        self, num_instructions: int, seed: int, chunk_size: int
+    ) -> Iterator[TraceInstruction]:
+        """The composite stream: the phase schedule consuming each
+        member's resumed stream in turn."""
+        schedule = self.phase_schedule(num_instructions)
+        contributions = [0] * len(self.members)
+        for member, length in schedule:
+            contributions[member] += length
+        streams = [
+            self._member_stream(index, contributions[index], seed, chunk_size)
+            if contributions[index]
+            else None
+            for index in range(len(self.members))
+        ]
+        for member, length in schedule:
+            stream = streams[member]
+            assert stream is not None  # scheduled members have streams
+            for _ in range(length):
+                yield next(stream)
+
+    def iter_trace_chunks(
+        self,
+        num_instructions: int,
+        seed: int,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> Iterator[TraceChunk]:
+        """Stream the composite trace in bounded memory (the chunked hook
+        :func:`~repro.cpu.workloads.iter_trace` dispatches to).
+
+        Memory is bounded by one output chunk plus one source chunk per
+        member, independent of ``num_instructions``. The instruction
+        stream is identical to :meth:`build_trace`'s.
+        """
+        return chunk_instructions(
+            self._interleave(num_instructions, seed, chunk_size), chunk_size
+        )
+
     def build_trace(
         self, num_instructions: int, seed: int
     ) -> List[TraceInstruction]:
@@ -126,36 +189,6 @@ class PhasedProfile:
         within :func:`~repro.cpu.trace.validate_trace`'s bounds because
         a member's in-stream position never exceeds its global position.
         """
-        schedule = self.phase_schedule(num_instructions)
-        contributions = [0] * len(self.members)
-        for member, length in schedule:
-            contributions[member] += length
-
-        streams: List[List[TraceInstruction]] = []
-        for index, member in enumerate(self.members):
-            if contributions[index] == 0:
-                streams.append([])
-                continue
-            offset = index * MEMBER_PC_STRIDE
-            streams.append([
-                TraceInstruction(
-                    instr.op,
-                    instr.pc + offset,
-                    dep1=instr.dep1,
-                    dep2=instr.dep2,
-                    address=instr.address,
-                    taken=instr.taken,
-                    target=instr.target + offset if instr.target else 0,
-                )
-                for instr in generate_trace(
-                    member, contributions[index], seed=seed
-                )
-            ])
-
-        trace: List[TraceInstruction] = []
-        cursors = [0] * len(self.members)
-        for member, length in schedule:
-            start = cursors[member]
-            trace.extend(streams[member][start:start + length])
-            cursors[member] = start + length
-        return trace
+        return list(
+            self._interleave(num_instructions, seed, DEFAULT_CHUNK_SIZE)
+        )

@@ -22,6 +22,14 @@ objects. Determinism is the contract the whole subsystem is built on:
 The pseudo-family ``"phased"`` composes two base-family draws into a
 :class:`~repro.scenarios.phased.PhasedProfile` with sampled phase
 lengths.
+
+Sampled workloads stream like everything else: a
+:class:`ScenarioWorkload` is a plain profile, so
+:func:`~repro.cpu.workloads.iter_trace` walks it chunk by chunk
+directly, and phased composites stream their member sources through
+:meth:`~repro.scenarios.phased.PhasedProfile.iter_trace_chunks` — which
+is what lets ``repro robustness --instructions 10000000`` evaluate
+10M+-instruction scenarios in bounded memory.
 """
 
 from __future__ import annotations

@@ -16,6 +16,22 @@ from repro.cpu.workloads import get_benchmark
 from repro.exec import cache as result_cache
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="regenerate the committed golden files in tests/goldens/ "
+        "from the current model instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    """Whether this run should rewrite goldens rather than assert them."""
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _isolated_result_cache(tmp_path_factory):
     """Point the persistent result cache at a throwaway directory.

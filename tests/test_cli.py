@@ -2,17 +2,20 @@
 
 import pytest
 
+import repro
 from repro import cli
+from repro.cpu import stream
 from repro.exec import cache
 from repro.exec.engine import set_default_workers
 
 
 @pytest.fixture
 def restore_engine_state(preserve_cache_config):
-    """Restore the cache and worker configuration ``main`` mutates
-    through the execution flags."""
+    """Restore the cache, worker, and streaming configuration ``main``
+    mutates through the execution flags."""
     yield
     set_default_workers(None)
+    stream.set_default_streaming(None)
 
 
 class TestParser:
@@ -181,3 +184,60 @@ class TestRobustnessSubcommand:
         _, scenarios = load_catalog(catalog_path)
         assert len(scenarios) == 6
         assert {s.family for s in scenarios} == {"ilp_rich", "bursty_idle"}
+
+
+class TestVersionFlag:
+    def test_version_exits_zero_and_reports(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert repro.package_version() in out
+
+    def test_package_version_is_a_version_string(self):
+        version = repro.package_version()
+        assert version
+        major = version.split(".")[0]
+        assert major.isdigit()
+
+
+class TestStreamingFlags:
+    def test_flags_parse(self):
+        args = cli.build_parser().parse_args(
+            ["table3", "--streaming", "--chunk-size", "4096"]
+        )
+        assert args.streaming is True
+        assert args.chunk_size == 4096
+        args = cli.build_parser().parse_args(["table3", "--no-streaming"])
+        assert args.streaming is False
+
+    def test_default_is_auto(self):
+        args = cli.build_parser().parse_args(["table3"])
+        assert args.streaming is None
+        assert args.chunk_size is None
+
+    def test_main_sets_process_default(self, capsys, restore_engine_state):
+        assert cli.main(["table1", "--streaming", "--chunk-size", "8192"]) == 0
+        assert stream.get_default_streaming() is True
+        assert stream.get_default_chunk_size() == 8192
+
+    def test_robustness_instructions_override(
+        self, capsys, restore_engine_state
+    ):
+        assert (
+            cli.main(
+                [
+                    "robustness",
+                    "--quick",
+                    "--scenarios", "2",
+                    "--families", "ilp_rich",
+                    "--instructions", "1500",
+                    "--streaming",
+                    "--chunk-size", "128",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Policy robustness: 2 scenarios" in out

@@ -1,4 +1,4 @@
-"""Property-based tests (hypothesis) on the core model invariants.
+"""Property-based tests on the core model invariants.
 
 These encode the paper's structural claims as laws over the whole
 parameter space rather than spot values:
@@ -11,11 +11,22 @@ parameter space rather than spot values:
 * GradualSleep's cycle conservation and limiting behavior,
 * cache/TLB structural invariants,
 * predictor counter behavior.
+
+Two generator styles coexist deliberately. The hypothesis-based classes
+shrink failures and explore the space adaptively; the stdlib-``random``
+classes at the bottom (``*Randomized``) use fixed seeds so every run —
+including CI — replays the exact same cases, which is what the interval
+/accounting/streaming invariants want from a regression suite: a
+reproducible sample, not a fresh search.
 """
+
+import math
+import random
 
 from hypothesis import given
 from hypothesis import strategies as st
 
+import numpy as np
 import pytest
 
 from repro.core.accounting import EnergyAccountant
@@ -29,8 +40,14 @@ from repro.core.policies import (
     GradualSleepPolicy,
     MaxSleepPolicy,
     NoOverheadPolicy,
+    PredictiveSleepPolicy,
+    TimeoutSleepPolicy,
     run_policy_on_intervals,
 )
+from repro.core.vectorized import exact_weighted_sum
+from repro.cpu.stream import MIN_CHUNK_SIZE, StreamingTrace
+from repro.cpu.trace import trace_digest
+from repro.cpu.workloads import generate_trace, get_benchmark, iter_trace
 from repro.core.transition import (
     always_active_interval_energy,
     max_sleep_interval_energy,
@@ -242,3 +259,131 @@ class TestStructuralLaws:
         for unit in range(2):
             idle = pool.histograms[unit].total_idle_cycles
             assert pool.busy_cycles[unit] + idle == end
+
+
+# -- stdlib-random properties (fixed seeds: reproducible samples) --------------
+
+
+def _random_histogram(rng: random.Random) -> IntervalHistogram:
+    """A random exact-count histogram with a heavy-tailed length mix."""
+    histogram = IntervalHistogram()
+    for _ in range(rng.randint(1, 60)):
+        length = rng.choice(
+            (rng.randint(1, 8), rng.randint(1, 200), rng.randint(1, 5_000))
+        )
+        histogram.add(length, count=rng.randint(1, 20))
+    return histogram
+
+
+def _policy_suite(rng: random.Random):
+    """Every policy class, with randomized parameterizations."""
+    params = TechnologyParameters(leakage_factor_p=rng.uniform(0.01, 1.0))
+    alpha = rng.uniform(0.0, 0.99)
+    return [
+        AlwaysActivePolicy(),
+        MaxSleepPolicy(),
+        NoOverheadPolicy(),
+        GradualSleepPolicy(GradualSleepDesign(num_slices=rng.randint(1, 64))),
+        BreakevenOraclePolicy(params, alpha),
+        TimeoutSleepPolicy(timeout=rng.randint(0, 50)),
+        PredictiveSleepPolicy(params, alpha, ewma_weight=rng.uniform(0.1, 1.0)),
+    ]
+
+
+class TestOutcomeConservationRandomized:
+    """Every policy conserves cycles on every interval it is shown.
+
+    ``uncontrolled_idle + sleep == interval`` for each interval of a
+    random histogram, whatever the policy's state — the invariant both
+    the open-loop accountant and the closed-loop tallies rest on.
+    """
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_conservation_over_random_histograms(self, seed):
+        rng = random.Random(1_000 + seed)
+        histogram = _random_histogram(rng)
+        for policy in _policy_suite(rng):
+            policy.reset()
+            for length, count in histogram:
+                for _ in range(count):
+                    outcome = policy.on_interval(length)
+                    assert outcome.uncontrolled_idle + outcome.sleep == (
+                        pytest.approx(float(length), abs=1e-9)
+                    ), (policy.name, length)
+                    assert 0.0 <= outcome.transitions <= 1.0, policy.name
+
+
+class TestExactWeightedSumRandomized:
+    """``exact_weighted_sum`` really is the scalar loop, and its value
+    stays within float rounding of the exactly-rounded ``math.fsum``."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_scalar_left_fold_bitwise(self, seed):
+        rng = random.Random(2_000 + seed)
+        size = rng.randint(0, 400)
+        values = np.array(
+            [rng.uniform(0.0, 1e6) for _ in range(size)], dtype=np.float64
+        )
+        counts = np.array(
+            [float(rng.randint(1, 1_000)) for _ in range(size)],
+            dtype=np.float64,
+        )
+        scalar = 0.0
+        for value, count in zip(values.tolist(), counts.tolist()):
+            scalar += value * count
+        assert exact_weighted_sum(values, counts) == scalar
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agrees_with_fsum(self, seed):
+        rng = random.Random(3_000 + seed)
+        size = rng.randint(1, 400)
+        values = np.array(
+            [rng.uniform(0.0, 1e9) for _ in range(size)], dtype=np.float64
+        )
+        counts = np.array(
+            [float(rng.randint(1, 10_000)) for _ in range(size)],
+            dtype=np.float64,
+        )
+        exact = math.fsum(
+            value * count for value, count in zip(values.tolist(), counts.tolist())
+        )
+        assert exact_weighted_sum(values, counts) == pytest.approx(
+            exact, rel=1e-12
+        )
+
+
+class TestChunkBoundaryInvarianceRandomized:
+    """Where chunk boundaries fall can never change the stream.
+
+    For random profiles, lengths, and chunk sizes: the chunked iterator
+    flattens to exactly the materialized trace, chunks tile the index
+    space contiguously, and a :class:`StreamingTrace` read sequentially
+    reproduces the same digest.
+    """
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_chunk_sizes_flatten_identically(self, seed):
+        rng = random.Random(4_000 + seed)
+        profile = get_benchmark(
+            rng.choice(["gzip", "mcf", "gcc", "health", "mst"])
+        )
+        length = rng.randint(200, 4_000)
+        trace_seed = rng.randint(1, 10_000)
+        reference = generate_trace(profile, length, seed=trace_seed)
+        chunk_size = rng.randint(MIN_CHUNK_SIZE, 2_048)
+        chunks = list(
+            iter_trace(profile, length, seed=trace_seed, chunk_size=chunk_size)
+        )
+        assert [chunk.start for chunk in chunks] == list(
+            range(0, length, chunk_size)
+        )
+        assert chunks[-1].end == length
+        assert all(len(chunk) == chunk_size for chunk in chunks[:-1])
+        flat = [instr for chunk in chunks for instr in chunk.instructions]
+        assert flat == reference
+
+        streaming = StreamingTrace(
+            iter_trace(profile, length, seed=trace_seed, chunk_size=chunk_size),
+            length,
+        )
+        assert trace_digest(streaming) == trace_digest(reference)
