@@ -1,0 +1,74 @@
+"""Bench: the batch kernel's throughput floor over the walked reference.
+
+The array-batched C kernel exists for exactly one reason: speed. This
+bench times both engines on the same materialized 1M-instruction trace
+and asserts the batch kernel is at least ``MIN_SPEEDUP`` times faster —
+a floor, wired into CI, so a regression that quietly drags the kernel
+back toward walk speed fails loudly. Equality of the results is
+asserted too (cheaply, on top of the dedicated equivalence gate): a
+fast wrong kernel must never pass its own bench.
+
+Timing notes: the walk is timed once (it dominates the bench's budget);
+the batch path takes the best of three runs, since it is fast enough
+for scheduling noise to matter. Both engines are Python-process-bound
+(the walk entirely, the batch path in its chunk-decode stage), so the
+ratio is stable across machine speeds.
+"""
+
+import time
+
+import pytest
+
+from repro.cpu.kernel import (
+    batch_kernel_available,
+    batch_kernel_unavailable_reason,
+    chunk_trace,
+    run_batch,
+)
+from repro.cpu.pipeline import Pipeline
+from repro.cpu.workloads import generate_trace, get_benchmark
+
+#: Instructions in the timed trace — long enough that per-run constant
+#: costs (kernel load, allocation) are noise.
+TRACE_LENGTH = 1_000_000
+
+#: Instructions per delivered chunk (the simulator's streaming default
+#: regime; the ratio is flat across reasonable chunk sizes).
+CHUNK_SIZE = 65_536
+
+#: The CI throughput floor: batch must beat the walk by at least this.
+#: Measured ~13x on a developer container; 10x leaves headroom for
+#: slower runners without tolerating a real regression.
+MIN_SPEEDUP = 10.0
+
+
+@pytest.mark.skipif(
+    not batch_kernel_available(),
+    reason=f"no batch kernel: {batch_kernel_unavailable_reason()}",
+)
+def test_bench_batch_kernel_speedup():
+    trace = list(generate_trace(get_benchmark("gcc"), TRACE_LENGTH, seed=11))
+
+    start = time.perf_counter()
+    walk_stats = Pipeline(trace).run()
+    walk_seconds = time.perf_counter() - start
+
+    batch_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        batch_stats = run_batch(
+            chunk_trace(trace, CHUNK_SIZE), TRACE_LENGTH
+        )
+        batch_seconds = min(batch_seconds, time.perf_counter() - start)
+
+    assert batch_stats == walk_stats
+    speedup = walk_seconds / batch_seconds
+    print(
+        f"\nwalk {walk_seconds:.2f}s, batch {batch_seconds:.2f}s "
+        f"({speedup:.1f}x, floor {MIN_SPEEDUP:.0f}x)"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"batch kernel speedup {speedup:.1f}x fell below the "
+        f"{MIN_SPEEDUP:.0f}x floor (walk {walk_seconds:.2f}s, "
+        f"batch {batch_seconds:.2f}s)"
+    )

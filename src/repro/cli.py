@@ -21,7 +21,13 @@ bounded-memory chunked trace delivery (default: automatic by trace
 length; results are float-for-float identical either way), which is
 what lets ``repro robustness --instructions 10000000`` run
 10M+-instruction scenarios without materializing their traces.
-``repro --version`` reports the installed package version.
+``--kernel walk|batch`` selects the simulation engine: ``walk`` is the
+per-instruction reference pipeline, ``batch`` the array-batched C
+kernel (~10x faster on long traces, compiled on first use). The two
+are float-for-float identical — the kernel-equivalence CI gate asserts
+``==`` across the benchmark suite — so the knob changes speed only,
+never results or cache keys. ``repro --version`` reports the installed
+package version.
 """
 
 from __future__ import annotations

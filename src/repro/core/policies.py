@@ -20,6 +20,7 @@ argues is unnecessary, so the claim can be tested:
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
@@ -85,6 +86,25 @@ class SleepPolicy(ABC):
         """
         return False
 
+    def online_sleep_threshold(self) -> Optional[int]:
+        """The :meth:`sleeps_at` schedule reduced to one integer, or None.
+
+        Every policy's online schedule is a monotone step function of
+        the elapsed idle time: awake below some threshold, asleep at and
+        above it (never asleep = ``None``). This method returns that
+        threshold so the batched kernel can drive the closed-loop
+        acquire path with a single integer comparison instead of a
+        per-query Python call; the contract —
+        ``sleeps_at(e) == (threshold is not None and e >= threshold)``
+        for every ``e >= 1`` — is asserted policy-by-policy in the test
+        suite. Stateful policies may return a different value after each
+        :meth:`on_interval` / :meth:`reset` (the kernel re-queries via
+        its interval-close callback); the schedule between two closes is
+        still one step. The conservative default matches the
+        never-asleep default of :meth:`sleeps_at`.
+        """
+        return None
+
     def outcomes_for_lengths(
         self, lengths: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -149,6 +169,9 @@ class AlwaysActivePolicy(SleepPolicy):
     def sleeps_at(self, elapsed: int) -> bool:
         return False
 
+    def online_sleep_threshold(self) -> Optional[int]:
+        return None
+
 
 class MaxSleepPolicy(SleepPolicy):
     """Assert Sleep on every idle opportunity, however short."""
@@ -169,6 +192,9 @@ class MaxSleepPolicy(SleepPolicy):
 
     def sleeps_at(self, elapsed: int) -> bool:
         return True
+
+    def online_sleep_threshold(self) -> Optional[int]:
+        return 1
 
 
 class NoOverheadPolicy(SleepPolicy):
@@ -196,6 +222,9 @@ class NoOverheadPolicy(SleepPolicy):
 
     def sleeps_at(self, elapsed: int) -> bool:
         return True
+
+    def online_sleep_threshold(self) -> Optional[int]:
+        return 1
 
 
 class GradualSleepPolicy(SleepPolicy):
@@ -241,6 +270,9 @@ class GradualSleepPolicy(SleepPolicy):
         # idle cycle; waking any asleep slice requires the full Sleep
         # de-assertion, so the unit stalls an acquire from then on.
         return True
+
+    def online_sleep_threshold(self) -> Optional[int]:
+        return 1
 
 
 class BreakevenOraclePolicy(SleepPolicy):
@@ -289,6 +321,13 @@ class BreakevenOraclePolicy(SleepPolicy):
         # exceeds the threshold; moot for stalls since the oracle
         # pre-wakes (wakeup_free).
         return elapsed > self.threshold
+
+    def online_sleep_threshold(self) -> Optional[int]:
+        # ``elapsed > threshold`` over integer elapsed is
+        # ``elapsed >= floor(threshold) + 1``.
+        if math.isinf(self.threshold):
+            return None
+        return max(1, math.floor(self.threshold) + 1)
 
 
 class PredictiveSleepPolicy(SleepPolicy):
@@ -344,6 +383,11 @@ class PredictiveSleepPolicy(SleepPolicy):
         # (on_interval), so mid-interval queries see the onset decision.
         return self.prediction > self.threshold
 
+    def online_sleep_threshold(self) -> Optional[int]:
+        # Constant in elapsed but state-dependent: asleep from onset
+        # when the current prediction pays, else never.
+        return 1 if self.prediction > self.threshold else None
+
 
 class TimeoutSleepPolicy(SleepPolicy):
     """Wait ``timeout`` uncontrolled cycles, then sleep for the remainder.
@@ -385,6 +429,9 @@ class TimeoutSleepPolicy(SleepPolicy):
 
     def sleeps_at(self, elapsed: int) -> bool:
         return elapsed > self.timeout
+
+    def online_sleep_threshold(self) -> Optional[int]:
+        return self.timeout + 1
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,1524 @@
+/* Array-batched pipeline kernel: a C99 port of the per-instruction walk.
+ *
+ * This engine is the "batch" side of the --kernel walk|batch knob. It is
+ * an exact integer-for-integer replica of repro/cpu/pipeline.py (plus the
+ * structures it drives: fu.py, sleep.py, branch.py, caches.py, memory.py).
+ * Every statistic the Python walk produces is reproduced bit-identically;
+ * the equivalence gate in tests/test_kernel_equivalence.py enforces that,
+ * which is what licenses the kernel knob's absence from cache keys.
+ *
+ * Trace delivery is chunked: repro_feed() appends one TraceChunk worth of
+ * structure-of-arrays instruction data to a ring-buffer window, then runs
+ * the cycle loop until it either completes or would need to fetch beyond
+ * the delivered window (pausing between cycles is state-neutral, so chunk
+ * size can never affect results). All accumulators are int64_t so 10M+
+ * instruction traces past the 2^31 cycle boundary are exact.
+ *
+ * Compiled lazily at import time by repro/cpu/_kernel_build.py via
+ * `cc -O2 -fPIC -shared`; no Python.h dependency (pure ctypes ABI).
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* Op classes: must match repro.cpu.isa.OpClass. */
+#define OP_INT_ALU 0
+#define OP_INT_MULT 1
+#define OP_LOAD 2
+#define OP_STORE 3
+#define OP_BRANCH 4
+#define OP_CALL 5
+#define OP_RETURN 6
+#define OP_FP_ALU 7
+#define OP_FP_MULT 8
+#define OP_NOP 9
+
+#define INT_MULT_LATENCY 3
+#define FP_LATENCY 4
+#define STORE_EXEC_LATENCY 1
+
+/* Config-array layout: must match repro.cpu._kernel_build.pack_config. */
+#define CFG_FQ_ENTRIES 0
+#define CFG_FETCH_WIDTH 1
+#define CFG_DECODE_WIDTH 2
+#define CFG_ISSUE_WIDTH 3
+#define CFG_COMMIT_WIDTH 4
+#define CFG_ROB_ENTRIES 5
+#define CFG_IQ_INT 6
+#define CFG_IQ_FP 7
+#define CFG_INT_REGS_FREE 8
+#define CFG_FP_REGS_FREE 9
+#define CFG_LQ 10
+#define CFG_SQ 11
+#define CFG_NUM_INT_FUS 12
+#define CFG_NUM_FP_FUS 13
+#define CFG_NUM_MEM_PORTS 14
+#define CFG_MISPREDICT_LATENCY 15
+#define CFG_MEMORY_LATENCY 16
+#define CFG_L1I 17 /* offset_bits, set_mask, set_bits, ways, hit_latency */
+#define CFG_L1D 22
+#define CFG_L2 27
+#define CFG_ITLB 32 /* page_bits, set_mask, set_bits, ways, miss_penalty */
+#define CFG_DTLB 37
+#define CFG_BIMODAL_MASK 42
+#define CFG_PATTERN_MASK 43
+#define CFG_META_MASK 44
+#define CFG_HISTORY_MASK 45
+#define CFG_RAS_ENTRIES 46
+#define CFG_BTB_SET_MASK 47
+#define CFG_BTB_SET_BITS 48
+#define CFG_BTB_WAYS 49
+#define CFG_TOTAL 50
+#define CFG_WARMUP 51
+#define CFG_MAX_CYCLES 52
+#define CFG_LEN 53
+
+/* repro_feed / repro_finalize status codes. */
+#define ST_NEED_DATA 1
+#define ST_DONE 2
+#define ST_DEADLOCK 3
+#define ST_ERROR (-1)
+
+#define THRESH_NEVER INT64_MAX
+
+/* Stateful-policy callback: (unit, interval_length) -> new sleep
+ * threshold for that unit. length == -1 signals the warmup reset. */
+typedef int64_t (*close_cb_t)(int32_t unit, int64_t length);
+
+/* ---------------------------------------------------------------- caches */
+
+typedef struct {
+    int shift; /* line-offset bits (caches) or page bits (TLBs) */
+    int64_t set_mask;
+    int set_bits;
+    int ways;
+    int64_t latency; /* hit latency (caches) or miss penalty (TLBs) */
+    int64_t *tags;   /* sets * ways, LRU order (index 0 oldest) */
+    int32_t *count;  /* valid ways per set */
+    int64_t accesses;
+    int64_t misses;
+} Assoc;
+
+static int assoc_init(Assoc *c, const int64_t *cfg) {
+    c->shift = (int)cfg[0];
+    c->set_mask = cfg[1];
+    c->set_bits = (int)cfg[2];
+    c->ways = (int)cfg[3];
+    c->latency = cfg[4];
+    int64_t sets = c->set_mask + 1;
+    c->tags = (int64_t *)malloc((size_t)(sets * c->ways) * sizeof(int64_t));
+    c->count = (int32_t *)calloc((size_t)sets, sizeof(int32_t));
+    c->accesses = 0;
+    c->misses = 0;
+    return (c->tags && c->count) ? 0 : -1;
+}
+
+static void assoc_free(Assoc *c) {
+    free(c->tags);
+    free(c->count);
+}
+
+/* LRU lookup over the key's set; refreshes on hit, fills+evicts on miss.
+ * Mirrors SetAssociativeCache.lookup / TranslationBuffer.access. */
+static int assoc_lookup(Assoc *c, int64_t key) {
+    c->accesses += 1;
+    int64_t set = key & c->set_mask;
+    int64_t tag = key >> c->set_bits;
+    int64_t *row = c->tags + set * c->ways;
+    int n = c->count[set];
+    for (int i = 0; i < n; i++) {
+        if (row[i] == tag) {
+            memmove(row + i, row + i + 1, (size_t)(n - 1 - i) * sizeof(int64_t));
+            row[n - 1] = tag;
+            return 1;
+        }
+    }
+    c->misses += 1;
+    if (n >= c->ways) {
+        memmove(row, row + 1, (size_t)(n - 1) * sizeof(int64_t));
+        row[n - 1] = tag;
+    } else {
+        row[n] = tag;
+        c->count[set] = n + 1;
+    }
+    return 0;
+}
+
+static int cache_lookup(Assoc *c, int64_t address) {
+    return assoc_lookup(c, address >> c->shift);
+}
+
+static int64_t tlb_access(Assoc *t, int64_t address) {
+    return assoc_lookup(t, address >> t->shift) ? 0 : t->latency;
+}
+
+/* ------------------------------------------------------------- predictor */
+
+typedef struct {
+    uint8_t *bimodal;
+    uint8_t *pattern;
+    uint8_t *meta;
+    int64_t bimodal_mask, pattern_mask, meta_mask, history_mask;
+    int64_t history;
+    int64_t *ras;
+    int ras_entries, ras_top, ras_occ;
+    int64_t *btb_tags;
+    int64_t *btb_targets;
+    int32_t *btb_count;
+    int64_t btb_set_mask;
+    int btb_set_bits, btb_ways;
+    int64_t lookups, dir_mispredicts, btb_misses_on_taken;
+} Pred;
+
+static uint8_t *sat_table(int64_t mask) {
+    int64_t n = mask + 1;
+    uint8_t *t = (uint8_t *)malloc((size_t)n);
+    if (t)
+        memset(t, 1, (size_t)n); /* weakly not-taken */
+    return t;
+}
+
+static int pred_init(Pred *p, const int64_t *cfg) {
+    p->bimodal_mask = cfg[CFG_BIMODAL_MASK];
+    p->pattern_mask = cfg[CFG_PATTERN_MASK];
+    p->meta_mask = cfg[CFG_META_MASK];
+    p->history_mask = cfg[CFG_HISTORY_MASK];
+    p->bimodal = sat_table(p->bimodal_mask);
+    p->pattern = sat_table(p->pattern_mask);
+    p->meta = sat_table(p->meta_mask);
+    p->history = 0;
+    p->ras_entries = (int)cfg[CFG_RAS_ENTRIES];
+    p->ras = (int64_t *)calloc((size_t)p->ras_entries, sizeof(int64_t));
+    p->ras_top = 0;
+    p->ras_occ = 0;
+    p->btb_set_mask = cfg[CFG_BTB_SET_MASK];
+    p->btb_set_bits = (int)cfg[CFG_BTB_SET_BITS];
+    p->btb_ways = (int)cfg[CFG_BTB_WAYS];
+    int64_t slots = (p->btb_set_mask + 1) * p->btb_ways;
+    p->btb_tags = (int64_t *)malloc((size_t)slots * sizeof(int64_t));
+    p->btb_targets = (int64_t *)malloc((size_t)slots * sizeof(int64_t));
+    p->btb_count = (int32_t *)calloc((size_t)(p->btb_set_mask + 1), sizeof(int32_t));
+    p->lookups = 0;
+    p->dir_mispredicts = 0;
+    p->btb_misses_on_taken = 0;
+    return (p->bimodal && p->pattern && p->meta && p->ras && p->btb_tags &&
+            p->btb_targets && p->btb_count)
+               ? 0
+               : -1;
+}
+
+static void pred_free(Pred *p) {
+    free(p->bimodal);
+    free(p->pattern);
+    free(p->meta);
+    free(p->ras);
+    free(p->btb_tags);
+    free(p->btb_targets);
+    free(p->btb_count);
+}
+
+static void sat_update(uint8_t *table, int64_t mask, int64_t index, int taken) {
+    int64_t slot = index & mask;
+    uint8_t v = table[slot];
+    if (taken) {
+        if (v < 3)
+            table[slot] = (uint8_t)(v + 1);
+    } else if (v > 0) {
+        table[slot] = (uint8_t)(v - 1);
+    }
+}
+
+/* BTB lookup refreshes LRU (like the walked path's ordered dict). */
+static int btb_lookup(Pred *p, int64_t pc, int64_t *target_out) {
+    int64_t word = pc >> 2;
+    int64_t set = word & p->btb_set_mask;
+    int64_t tag = word >> p->btb_set_bits;
+    int64_t *tags = p->btb_tags + set * p->btb_ways;
+    int64_t *targets = p->btb_targets + set * p->btb_ways;
+    int n = p->btb_count[set];
+    for (int i = 0; i < n; i++) {
+        if (tags[i] == tag) {
+            int64_t target = targets[i];
+            memmove(tags + i, tags + i + 1, (size_t)(n - 1 - i) * sizeof(int64_t));
+            memmove(targets + i, targets + i + 1,
+                    (size_t)(n - 1 - i) * sizeof(int64_t));
+            tags[n - 1] = tag;
+            targets[n - 1] = target;
+            *target_out = target;
+            return 1;
+        }
+    }
+    return 0;
+}
+
+static void btb_install(Pred *p, int64_t pc, int64_t target) {
+    int64_t word = pc >> 2;
+    int64_t set = word & p->btb_set_mask;
+    int64_t tag = word >> p->btb_set_bits;
+    int64_t *tags = p->btb_tags + set * p->btb_ways;
+    int64_t *targets = p->btb_targets + set * p->btb_ways;
+    int n = p->btb_count[set];
+    for (int i = 0; i < n; i++) {
+        if (tags[i] == tag) {
+            memmove(tags + i, tags + i + 1, (size_t)(n - 1 - i) * sizeof(int64_t));
+            memmove(targets + i, targets + i + 1,
+                    (size_t)(n - 1 - i) * sizeof(int64_t));
+            tags[n - 1] = tag;
+            targets[n - 1] = target;
+            return;
+        }
+    }
+    if (n >= p->btb_ways) {
+        memmove(tags, tags + 1, (size_t)(n - 1) * sizeof(int64_t));
+        memmove(targets, targets + 1, (size_t)(n - 1) * sizeof(int64_t));
+        tags[n - 1] = tag;
+        targets[n - 1] = target;
+    } else {
+        tags[n] = tag;
+        targets[n] = target;
+        p->btb_count[set] = n + 1;
+    }
+}
+
+static int pred_update(Pred *p, int64_t pc, int taken, int64_t target) {
+    p->lookups += 1;
+    int64_t index = pc >> 2;
+    int bimodal_pred = p->bimodal[index & p->bimodal_mask] >= 2;
+    int64_t gshare_index = (index ^ p->history) & p->pattern_mask;
+    int gshare_pred = p->pattern[gshare_index] >= 2;
+    int use_gshare = p->meta[index & p->meta_mask] >= 2;
+    int predicted = use_gshare ? gshare_pred : bimodal_pred;
+
+    int64_t stored = 0;
+    int hit = btb_lookup(p, pc, &stored);
+    int mispredicted = predicted != taken;
+    if (taken && (!hit || stored != target)) {
+        p->btb_misses_on_taken += 1;
+        mispredicted = 1;
+    }
+    if (predicted != taken)
+        p->dir_mispredicts += 1;
+
+    if (bimodal_pred != gshare_pred)
+        sat_update(p->meta, p->meta_mask, index, gshare_pred == taken);
+    sat_update(p->bimodal, p->bimodal_mask, index, taken);
+    sat_update(p->pattern, p->pattern_mask, gshare_index, taken);
+    if (taken)
+        btb_install(p, pc, target);
+    p->history = ((p->history << 1) | (int64_t)taken) & p->history_mask;
+    return mispredicted;
+}
+
+static int pred_update_call(Pred *p, int64_t pc, int64_t return_pc, int64_t target) {
+    p->lookups += 1;
+    int64_t stored = 0;
+    int hit = btb_lookup(p, pc, &stored);
+    /* RAS push (wraps, overwriting the oldest entry). */
+    p->ras[p->ras_top] = return_pc;
+    p->ras_top = (p->ras_top + 1) % p->ras_entries;
+    if (p->ras_occ < p->ras_entries)
+        p->ras_occ += 1;
+    btb_install(p, pc, target);
+    if (!hit || stored != target) {
+        p->btb_misses_on_taken += 1;
+        return 1;
+    }
+    return 0;
+}
+
+static int pred_update_return(Pred *p, int64_t pc, int64_t target) {
+    (void)pc;
+    p->lookups += 1;
+    if (p->ras_occ == 0) {
+        p->dir_mispredicts += 1;
+        return 1;
+    }
+    p->ras_top = (p->ras_top - 1 + p->ras_entries) % p->ras_entries;
+    p->ras_occ -= 1;
+    if (p->ras[p->ras_top] != target) {
+        p->dir_mispredicts += 1;
+        return 1;
+    }
+    return 0;
+}
+
+/* -------------------------------------------------------- FU pools */
+
+typedef struct {
+    int n;
+    int rr;
+    int record; /* record idle intervals (int pool yes, FP pool no) */
+    int64_t *busy_until;
+    int64_t *last_busy_end;
+    int64_t *busy_cycles;
+    int64_t *operations;
+    int64_t **intervals; /* growable per-unit idle-interval sequences */
+    int64_t *ivn;
+    int64_t *ivcap;
+    int blocked_on_wakeup;
+    /* Closed-loop state (sleep == 0 for open-loop pools). */
+    int sleep;
+    int wakeup_free;
+    int stateful;
+    int64_t wakeup_latency;
+    int64_t *thresh;     /* asleep once elapsed >= thresh (>= 1) */
+    int64_t *wake_ready; /* -1 = no wakeup in flight */
+    int64_t *wake_started;
+    int64_t floor_cycle;
+    int64_t *waking;
+    int64_t *awake_wait;
+    int64_t *wake_events;
+    close_cb_t close_cb;
+} Pool;
+
+static int pool_init(Pool *p, int n, int record) {
+    memset(p, 0, sizeof(*p));
+    p->n = n;
+    p->record = record;
+    p->busy_until = (int64_t *)calloc((size_t)n, sizeof(int64_t));
+    p->last_busy_end = (int64_t *)calloc((size_t)n, sizeof(int64_t));
+    p->busy_cycles = (int64_t *)calloc((size_t)n, sizeof(int64_t));
+    p->operations = (int64_t *)calloc((size_t)n, sizeof(int64_t));
+    p->intervals = (int64_t **)calloc((size_t)n, sizeof(int64_t *));
+    p->ivn = (int64_t *)calloc((size_t)n, sizeof(int64_t));
+    p->ivcap = (int64_t *)calloc((size_t)n, sizeof(int64_t));
+    p->thresh = (int64_t *)calloc((size_t)n, sizeof(int64_t));
+    p->wake_ready = (int64_t *)malloc((size_t)n * sizeof(int64_t));
+    p->wake_started = (int64_t *)calloc((size_t)n, sizeof(int64_t));
+    p->waking = (int64_t *)calloc((size_t)n, sizeof(int64_t));
+    p->awake_wait = (int64_t *)calloc((size_t)n, sizeof(int64_t));
+    p->wake_events = (int64_t *)calloc((size_t)n, sizeof(int64_t));
+    if (!p->busy_until || !p->last_busy_end || !p->busy_cycles ||
+        !p->operations || !p->intervals || !p->ivn || !p->ivcap || !p->thresh ||
+        !p->wake_ready || !p->wake_started || !p->waking || !p->awake_wait ||
+        !p->wake_events)
+        return -1;
+    for (int i = 0; i < n; i++)
+        p->wake_ready[i] = -1;
+    return 0;
+}
+
+static void pool_free(Pool *p) {
+    if (p->intervals)
+        for (int i = 0; i < p->n; i++)
+            free(p->intervals[i]);
+    free(p->intervals);
+    free(p->busy_until);
+    free(p->last_busy_end);
+    free(p->busy_cycles);
+    free(p->operations);
+    free(p->ivn);
+    free(p->ivcap);
+    free(p->thresh);
+    free(p->wake_ready);
+    free(p->wake_started);
+    free(p->waking);
+    free(p->awake_wait);
+    free(p->wake_events);
+}
+
+static int rec_interval(Pool *p, int unit, int64_t gap) {
+    if (!p->record)
+        return 0;
+    if (p->ivn[unit] >= p->ivcap[unit]) {
+        int64_t cap = p->ivcap[unit] ? p->ivcap[unit] * 2 : 1024;
+        int64_t *grown =
+            (int64_t *)realloc(p->intervals[unit], (size_t)cap * sizeof(int64_t));
+        if (!grown)
+            return -1;
+        p->intervals[unit] = grown;
+        p->ivcap[unit] = cap;
+    }
+    p->intervals[unit][p->ivn[unit]++] = gap;
+    return 0;
+}
+
+/* Record a closed idle interval; stateful policies re-decide their sleep
+ * threshold through the Python callback (ControlledFunctionalUnitPool.
+ * _close_interval's controller.close_interval). */
+static int pool_close_interval(Pool *p, int unit, int64_t length) {
+    if (rec_interval(p, unit, length))
+        return -1;
+    if (p->stateful)
+        p->thresh[unit] = p->close_cb((int32_t)unit, length);
+    return 0;
+}
+
+static void pool_start_busy(Pool *p, int unit, int64_t cycle, int64_t duration) {
+    p->busy_until[unit] = cycle + duration;
+    p->last_busy_end[unit] = cycle + duration;
+    p->busy_cycles[unit] += duration;
+    p->operations[unit] += 1;
+    p->rr = (unit + 1) % p->n;
+}
+
+/* FunctionalUnitPool.acquire / ControlledFunctionalUnitPool.acquire. */
+static int pool_acquire(Pool *p, int64_t cycle, int64_t duration) {
+    int n = p->n;
+    if (!p->sleep) {
+        for (int offset = 0; offset < n; offset++) {
+            int unit = (p->rr + offset) % n;
+            if (p->busy_until[unit] <= cycle) {
+                int64_t gap = cycle - p->last_busy_end[unit];
+                if (gap > 0 && rec_interval(p, unit, gap))
+                    return -2;
+                pool_start_busy(p, unit, cycle, duration);
+                return unit;
+            }
+        }
+        return -1;
+    }
+    p->blocked_on_wakeup = 0;
+    int wake_in_flight = 0;
+    int sleeping_candidate = -1;
+    for (int offset = 0; offset < n; offset++) {
+        int unit = (p->rr + offset) % n;
+        if (p->busy_until[unit] > cycle)
+            continue;
+        int64_t ready = p->wake_ready[unit];
+        if (ready >= 0) {
+            if (ready <= cycle) {
+                /* _claim_woken */
+                int64_t wk = ready - p->wake_started[unit];
+                p->waking[unit] += wk > 0 ? wk : 0;
+                int64_t base = ready > p->floor_cycle ? ready : p->floor_cycle;
+                p->awake_wait[unit] += cycle - base;
+                p->wake_ready[unit] = -1;
+                pool_start_busy(p, unit, cycle, duration);
+                return unit;
+            }
+            wake_in_flight = 1;
+            continue;
+        }
+        int64_t elapsed = cycle - p->last_busy_end[unit];
+        int asleep = elapsed >= 1 && elapsed >= p->thresh[unit];
+        if (p->wakeup_latency == 0 || p->wakeup_free || !asleep) {
+            /* _claim_awake */
+            if (elapsed > 0 && pool_close_interval(p, unit, elapsed))
+                return -2;
+            pool_start_busy(p, unit, cycle, duration);
+            return unit;
+        }
+        if (sleeping_candidate < 0)
+            sleeping_candidate = unit;
+    }
+    if (wake_in_flight) {
+        p->blocked_on_wakeup = 1;
+    } else if (sleeping_candidate >= 0) {
+        /* _trigger_wake */
+        int unit = sleeping_candidate;
+        int64_t gap = cycle - p->last_busy_end[unit];
+        if (gap > 0 && pool_close_interval(p, unit, gap))
+            return -2;
+        p->wake_ready[unit] = cycle + p->wakeup_latency;
+        p->wake_started[unit] = cycle;
+        p->last_busy_end[unit] = cycle;
+        p->wake_events[unit] += 1;
+        p->blocked_on_wakeup = 1;
+    }
+    return -1;
+}
+
+static int64_t pool_next_wake_ready(Pool *p) {
+    if (!p->sleep)
+        return -1;
+    int64_t best = -1;
+    for (int unit = 0; unit < p->n; unit++) {
+        int64_t ready = p->wake_ready[unit];
+        if (ready >= 0 && (best < 0 || ready < best))
+            best = ready;
+    }
+    return best;
+}
+
+/* reset_statistics: the warmup boundary. */
+static void pool_reset_stats(Pool *p, int64_t cycle) {
+    for (int unit = 0; unit < p->n; unit++) {
+        int64_t inflight = p->busy_until[unit] - cycle;
+        p->busy_cycles[unit] = inflight > 0 ? inflight : 0;
+        p->operations[unit] = 0;
+        p->ivn[unit] = 0;
+        if (p->last_busy_end[unit] < cycle)
+            p->last_busy_end[unit] = cycle;
+    }
+    if (p->sleep) {
+        p->floor_cycle = cycle;
+        for (int unit = 0; unit < p->n; unit++) {
+            p->waking[unit] = 0;
+            p->awake_wait[unit] = 0;
+            p->wake_events[unit] = 0;
+            if (p->wake_started[unit] < cycle)
+                p->wake_started[unit] = cycle;
+            if (p->stateful)
+                p->thresh[unit] = p->close_cb((int32_t)unit, -1);
+        }
+    }
+}
+
+static int pool_finalize(Pool *p, int64_t end_cycle) {
+    for (int unit = 0; unit < p->n; unit++) {
+        if (p->sleep && p->wake_ready[unit] >= 0) {
+            int64_t ready = p->wake_ready[unit];
+            int64_t span = (ready < end_cycle ? ready : end_cycle) -
+                           p->wake_started[unit];
+            p->waking[unit] += span > 0 ? span : 0;
+            int64_t base = ready > p->floor_cycle ? ready : p->floor_cycle;
+            int64_t wait = end_cycle - base;
+            p->awake_wait[unit] += wait > 0 ? wait : 0;
+        } else {
+            int64_t gap = end_cycle - p->last_busy_end[unit];
+            if (gap > 0) {
+                if (p->sleep) {
+                    if (pool_close_interval(p, unit, gap))
+                        return -1;
+                } else if (rec_interval(p, unit, gap)) {
+                    return -1;
+                }
+            }
+        }
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------ simulator */
+
+typedef struct {
+    int64_t cycle;
+    int64_t seq;
+} Completion;
+
+typedef struct {
+    int32_t consumer_slot;
+    int32_t next;
+} Edge;
+
+/* In-flight entry states (the ring replaces both the fetch queue's iop
+ * objects and the _inflight dict). */
+#define INFL_FREE 0
+#define INFL_FETCHED 1
+#define INFL_DISPATCHED 2
+
+typedef struct {
+    /* machine parameters */
+    int fq_entries, fetch_width, decode_width, issue_width, commit_width;
+    int rob_entries, num_mem_ports;
+    int64_t mispredict_latency, memory_latency;
+    int line_bits;
+    int64_t total, warmup, max_cycles;
+
+    Assoc l1i, l1d, l2, itlb, dtlb;
+    Pred pred;
+    Pool int_pool, fp_pool;
+
+    /* trace window (ring over seq) */
+    int64_t win_mask;
+    uint8_t *win_op;
+    int64_t *win_pc;
+    int64_t *win_dep1;
+    int64_t *win_dep2;
+    int64_t *win_addr;
+    uint8_t *win_taken;
+    int64_t *win_target;
+    int64_t avail_end;
+
+    /* in-flight ring (fetch queue + ROB occupants) */
+    int64_t infl_mask;
+    int64_t *infl_seq;
+    uint8_t *infl_state;
+    uint8_t *infl_op;
+    int64_t *infl_addr;
+    int32_t *infl_pending;
+    uint8_t *infl_done;
+    uint8_t *infl_fwd;
+    int32_t *infl_edges; /* head of consumer list, -1 = empty */
+
+    /* consumer-edge pool with free list */
+    Edge *edges;
+    int32_t edge_free;
+
+    /* fetch queue / ROB as seq spans */
+    int64_t fq_count;
+    int64_t rob_head_seq;
+    int64_t rob_count;
+
+    /* store map: last in-flight store per address */
+    int64_t *smap_addr;
+    int64_t *smap_seq;
+    int smap_n;
+
+    /* ready heaps (seq-keyed min-heaps) and completions heap */
+    int64_t *ready_int, *ready_mem, *ready_fp;
+    int ready_int_n, ready_mem_n, ready_fp_n;
+    Completion *comp;
+    int comp_n;
+
+    /* resource counters */
+    int64_t iq_int_free, iq_fp_free, lq_free, sq_free;
+    int64_t int_regs_free, fp_regs_free;
+
+    /* fetch state */
+    int64_t fetch_index;
+    int64_t fetch_stalled_until;
+    int64_t waiting_branch_seq; /* -1 = none */
+    int64_t current_fetch_line;
+
+    /* run state */
+    int64_t cycle;
+    int64_t committed;
+    int64_t fetch_stall_cycles;
+    int64_t wakeup_stall_cycles;
+    int wakeup_blocked;
+    int warmup_pending;
+    int64_t measure_start_cycle;
+    int64_t committed_at_measure_start;
+
+    /* warmup counter snapshots */
+    int64_t snap_lookups, snap_mispredicts;
+    int64_t snap_cache[10];
+
+    int status; /* 0 running, else ST_* */
+} Sim;
+
+static int64_t next_pow2(int64_t v) {
+    int64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+static int64_t ifetch_latency(Sim *s, int64_t pc) {
+    int64_t latency = tlb_access(&s->itlb, pc);
+    if (cache_lookup(&s->l1i, pc))
+        return latency + s->l1i.latency;
+    if (cache_lookup(&s->l2, pc))
+        return latency + s->l2.latency;
+    return latency + s->l2.latency + s->memory_latency;
+}
+
+static int64_t data_access_latency(Sim *s, int64_t address) {
+    int64_t latency = tlb_access(&s->dtlb, address);
+    if (cache_lookup(&s->l1d, address))
+        return latency + s->l1d.latency;
+    if (cache_lookup(&s->l2, address))
+        return latency + s->l2.latency;
+    return latency + s->l2.latency + s->memory_latency;
+}
+
+/* -- seq min-heaps ------------------------------------------------------- */
+
+static void heap_push(int64_t *heap, int *n, int64_t seq) {
+    int i = (*n)++;
+    heap[i] = seq;
+    while (i > 0) {
+        int parent = (i - 1) / 2;
+        if (heap[parent] <= heap[i])
+            break;
+        int64_t tmp = heap[parent];
+        heap[parent] = heap[i];
+        heap[i] = tmp;
+        i = parent;
+    }
+}
+
+static int64_t heap_pop(int64_t *heap, int *n) {
+    int64_t top = heap[0];
+    int last = --(*n);
+    heap[0] = heap[last];
+    int i = 0;
+    for (;;) {
+        int left = 2 * i + 1, right = left + 1, smallest = i;
+        if (left < last && heap[left] < heap[smallest])
+            smallest = left;
+        if (right < last && heap[right] < heap[smallest])
+            smallest = right;
+        if (smallest == i)
+            break;
+        int64_t tmp = heap[smallest];
+        heap[smallest] = heap[i];
+        heap[i] = tmp;
+        i = smallest;
+    }
+    return top;
+}
+
+/* -- completions heap: (cycle, seq) lexicographic ------------------------ */
+
+static int comp_less(const Completion *a, const Completion *b) {
+    if (a->cycle != b->cycle)
+        return a->cycle < b->cycle;
+    return a->seq < b->seq;
+}
+
+static void comp_push(Sim *s, int64_t cycle, int64_t seq) {
+    Completion *heap = s->comp;
+    int i = s->comp_n++;
+    heap[i].cycle = cycle;
+    heap[i].seq = seq;
+    while (i > 0) {
+        int parent = (i - 1) / 2;
+        if (!comp_less(&heap[i], &heap[parent]))
+            break;
+        Completion tmp = heap[parent];
+        heap[parent] = heap[i];
+        heap[i] = tmp;
+        i = parent;
+    }
+}
+
+static Completion comp_pop(Sim *s) {
+    Completion *heap = s->comp;
+    Completion top = heap[0];
+    int last = --s->comp_n;
+    heap[0] = heap[last];
+    int i = 0;
+    for (;;) {
+        int left = 2 * i + 1, right = left + 1, smallest = i;
+        if (left < last && comp_less(&heap[left], &heap[smallest]))
+            smallest = left;
+        if (right < last && comp_less(&heap[right], &heap[smallest]))
+            smallest = right;
+        if (smallest == i)
+            break;
+        Completion tmp = heap[smallest];
+        heap[smallest] = heap[i];
+        heap[i] = tmp;
+        i = smallest;
+    }
+    return top;
+}
+
+/* -- store map (<= sq_entries live entries, linear scan) ----------------- */
+
+static int smap_find(Sim *s, int64_t addr) {
+    for (int i = 0; i < s->smap_n; i++)
+        if (s->smap_addr[i] == addr)
+            return i;
+    return -1;
+}
+
+static void smap_put(Sim *s, int64_t addr, int64_t seq) {
+    int i = smap_find(s, addr);
+    if (i < 0)
+        i = s->smap_n++;
+    s->smap_addr[i] = addr;
+    s->smap_seq[i] = seq;
+}
+
+static void smap_remove_at(Sim *s, int i) {
+    int last = --s->smap_n;
+    s->smap_addr[i] = s->smap_addr[last];
+    s->smap_seq[i] = s->smap_seq[last];
+}
+
+/* -- edges --------------------------------------------------------------- */
+
+static void edge_add(Sim *s, int64_t producer_slot, int64_t consumer_slot) {
+    int32_t id = s->edge_free;
+    s->edge_free = s->edges[id].next;
+    s->edges[id].consumer_slot = (int32_t)consumer_slot;
+    s->edges[id].next = s->infl_edges[producer_slot];
+    s->infl_edges[producer_slot] = id;
+}
+
+/* -- pipeline stages ----------------------------------------------------- */
+
+static void push_ready(Sim *s, int64_t slot) {
+    int op = s->infl_op[slot];
+    int64_t seq = s->infl_seq[slot];
+    if (op == OP_LOAD || op == OP_STORE)
+        heap_push(s->ready_mem, &s->ready_mem_n, seq);
+    else if (op == OP_FP_ALU || op == OP_FP_MULT)
+        heap_push(s->ready_fp, &s->ready_fp_n, seq);
+    else
+        heap_push(s->ready_int, &s->ready_int_n, seq);
+}
+
+static int stage_writeback(Sim *s) {
+    int64_t cycle = s->cycle;
+    int progress = 0;
+    while (s->comp_n && s->comp[0].cycle <= cycle) {
+        Completion done = comp_pop(s);
+        int64_t slot = done.seq & s->infl_mask;
+        s->infl_done[slot] = 1;
+        progress = 1;
+        int op = s->infl_op[slot];
+        int32_t edge = s->infl_edges[slot];
+        while (edge >= 0) {
+            int32_t consumer = s->edges[edge].consumer_slot;
+            if (--s->infl_pending[consumer] == 0)
+                push_ready(s, consumer);
+            int32_t next = s->edges[edge].next;
+            s->edges[edge].next = s->edge_free;
+            s->edge_free = edge;
+            edge = next;
+        }
+        s->infl_edges[slot] = -1;
+        if (done.seq == s->waiting_branch_seq) {
+            s->fetch_stalled_until = cycle + s->mispredict_latency;
+            s->waiting_branch_seq = -1;
+        }
+        if (op == OP_STORE) {
+            int i = smap_find(s, s->infl_addr[slot]);
+            if (i >= 0 && s->smap_seq[i] == done.seq)
+                smap_remove_at(s, i);
+        }
+    }
+    return progress;
+}
+
+static int stage_commit(Sim *s) {
+    int width = s->commit_width;
+    int committed_now = 0;
+    while (s->rob_count > 0 && committed_now < width) {
+        int64_t slot = s->rob_head_seq & s->infl_mask;
+        if (!s->infl_done[slot])
+            break;
+        int op = s->infl_op[slot];
+        if (op == OP_STORE) {
+            data_access_latency(s, s->infl_addr[slot]);
+            s->sq_free += 1;
+        } else if (op == OP_LOAD) {
+            s->lq_free += 1;
+        }
+        if (op == OP_INT_ALU || op == OP_INT_MULT || op == OP_LOAD ||
+            op == OP_CALL)
+            s->int_regs_free += 1;
+        else if (op == OP_FP_ALU || op == OP_FP_MULT)
+            s->fp_regs_free += 1;
+        s->infl_state[slot] = INFL_FREE;
+        s->rob_head_seq += 1;
+        s->rob_count -= 1;
+        committed_now += 1;
+    }
+    s->committed += committed_now;
+    return committed_now > 0;
+}
+
+static int stage_issue(Sim *s) {
+    int64_t cycle = s->cycle;
+    int width = s->issue_width;
+    int ports_left = s->num_mem_ports;
+    int issued = 0;
+    int int_blocked = 0, fp_blocked = 0, mem_blocked = 0;
+    s->wakeup_blocked = 0;
+    while (issued < width) {
+        int64_t best_seq = -1;
+        int best_class = 0;
+        if (s->ready_int_n && !int_blocked) {
+            best_seq = s->ready_int[0];
+            best_class = 1;
+        }
+        if (s->ready_mem_n && ports_left > 0 && !mem_blocked) {
+            int64_t seq = s->ready_mem[0];
+            if (best_seq < 0 || seq < best_seq) {
+                best_seq = seq;
+                best_class = 2;
+            }
+        }
+        if (s->ready_fp_n && !fp_blocked) {
+            int64_t seq = s->ready_fp[0];
+            if (best_seq < 0 || seq < best_seq) {
+                best_seq = seq;
+                best_class = 3;
+            }
+        }
+        if (best_seq < 0)
+            break;
+
+        if (best_class == 1) {
+            int64_t slot = best_seq & s->infl_mask;
+            int64_t latency =
+                s->infl_op[slot] == OP_INT_MULT ? INT_MULT_LATENCY : 1;
+            int unit = pool_acquire(&s->int_pool, cycle, latency);
+            if (unit == -2)
+                return -1;
+            if (unit < 0) {
+                int_blocked = 1;
+                if (s->int_pool.blocked_on_wakeup)
+                    s->wakeup_blocked = 1;
+                continue;
+            }
+            heap_pop(s->ready_int, &s->ready_int_n);
+            s->iq_int_free += 1;
+            comp_push(s, cycle + latency, best_seq);
+        } else if (best_class == 2) {
+            int agen_unit = pool_acquire(&s->int_pool, cycle, 1);
+            if (agen_unit == -2)
+                return -1;
+            if (agen_unit < 0) {
+                mem_blocked = 1;
+                if (s->int_pool.blocked_on_wakeup)
+                    s->wakeup_blocked = 1;
+                continue;
+            }
+            int64_t seq = heap_pop(s->ready_mem, &s->ready_mem_n);
+            int64_t slot = seq & s->infl_mask;
+            ports_left -= 1;
+            int64_t latency;
+            if (s->infl_op[slot] == OP_LOAD) {
+                if (s->infl_fwd[slot])
+                    latency = s->l1d.latency;
+                else
+                    latency = data_access_latency(s, s->infl_addr[slot]);
+            } else {
+                latency = STORE_EXEC_LATENCY;
+            }
+            comp_push(s, cycle + latency, seq);
+        } else {
+            int unit = pool_acquire(&s->fp_pool, cycle, FP_LATENCY);
+            if (unit == -2)
+                return -1;
+            if (unit < 0) {
+                fp_blocked = 1;
+                continue;
+            }
+            int64_t seq = heap_pop(s->ready_fp, &s->ready_fp_n);
+            s->iq_fp_free += 1;
+            comp_push(s, cycle + FP_LATENCY, seq);
+        }
+        issued += 1;
+    }
+    if (s->wakeup_blocked)
+        s->wakeup_stall_cycles += 1;
+    return issued > 0;
+}
+
+static int stage_dispatch(Sim *s) {
+    int width = s->decode_width;
+    int dispatched = 0;
+    while (dispatched < width && s->fq_count > 0) {
+        if (s->rob_count >= s->rob_entries)
+            break;
+        int64_t seq = s->fetch_index - s->fq_count; /* fetch-queue head */
+        int64_t slot = seq & s->infl_mask;
+        int op = s->infl_op[slot];
+        if (op == OP_LOAD) {
+            if (s->lq_free == 0 || s->int_regs_free == 0)
+                break;
+            s->lq_free -= 1;
+            s->int_regs_free -= 1;
+        } else if (op == OP_STORE) {
+            if (s->sq_free == 0)
+                break;
+            s->sq_free -= 1;
+        } else if (op == OP_FP_ALU || op == OP_FP_MULT) {
+            if (s->iq_fp_free == 0 || s->fp_regs_free == 0)
+                break;
+            s->iq_fp_free -= 1;
+            s->fp_regs_free -= 1;
+        } else {
+            if (s->iq_int_free == 0)
+                break;
+            if (op == OP_INT_ALU || op == OP_INT_MULT || op == OP_CALL) {
+                if (s->int_regs_free == 0)
+                    break;
+                s->int_regs_free -= 1;
+            }
+            s->iq_int_free -= 1;
+        }
+
+        s->fq_count -= 1;
+        s->rob_count += 1;
+        s->infl_state[slot] = INFL_DISPATCHED;
+
+        int64_t widx = seq & s->win_mask;
+        int64_t deps[2] = {s->win_dep1[widx], s->win_dep2[widx]};
+        for (int d = 0; d < 2; d++) {
+            int64_t distance = deps[d];
+            if (distance) {
+                int64_t producer_seq = seq - distance;
+                if (producer_seq >= 0) {
+                    int64_t pslot = producer_seq & s->infl_mask;
+                    if (s->infl_state[pslot] == INFL_DISPATCHED &&
+                        s->infl_seq[pslot] == producer_seq &&
+                        !s->infl_done[pslot]) {
+                        s->infl_pending[slot] += 1;
+                        edge_add(s, pslot, slot);
+                    }
+                }
+            }
+        }
+        if (op == OP_LOAD) {
+            int i = smap_find(s, s->infl_addr[slot]);
+            if (i >= 0) {
+                int64_t store_seq = s->smap_seq[i];
+                int64_t sslot = store_seq & s->infl_mask;
+                if (!s->infl_done[sslot] && store_seq < seq) {
+                    s->infl_pending[slot] += 1;
+                    s->infl_fwd[slot] = 1;
+                    edge_add(s, sslot, slot);
+                }
+            }
+        } else if (op == OP_STORE) {
+            smap_put(s, s->infl_addr[slot], seq);
+        }
+
+        if (s->infl_pending[slot] == 0)
+            push_ready(s, slot);
+        dispatched += 1;
+    }
+    return dispatched > 0;
+}
+
+static int stage_fetch(Sim *s) {
+    if (s->fetch_index >= s->total)
+        return 0;
+    if (s->waiting_branch_seq >= 0 || s->cycle < s->fetch_stalled_until) {
+        s->fetch_stall_cycles += 1;
+        return 0;
+    }
+    int width = s->fetch_width;
+    int fetched = 0;
+    while (fetched < width && s->fq_count < s->fq_entries &&
+           s->fetch_index < s->total) {
+        int64_t widx = s->fetch_index & s->win_mask;
+        int64_t pc = s->win_pc[widx];
+        int64_t line = pc >> s->line_bits;
+        if (line != s->current_fetch_line) {
+            int64_t latency = ifetch_latency(s, pc);
+            s->current_fetch_line = line;
+            if (latency > s->l1i.latency) {
+                s->fetch_stalled_until = s->cycle + (latency - s->l1i.latency);
+                break;
+            }
+        }
+
+        int op = s->win_op[widx];
+        int64_t seq = s->fetch_index;
+        int64_t slot = seq & s->infl_mask;
+        s->infl_seq[slot] = seq;
+        s->infl_state[slot] = INFL_FETCHED;
+        s->infl_op[slot] = (uint8_t)op;
+        s->infl_addr[slot] = s->win_addr[widx];
+        s->infl_pending[slot] = 0;
+        s->infl_done[slot] = 0;
+        s->infl_fwd[slot] = 0;
+        s->infl_edges[slot] = -1;
+        s->fq_count += 1;
+        s->fetch_index += 1;
+        fetched += 1;
+
+        if (op == OP_BRANCH) {
+            int taken = s->win_taken[widx];
+            if (pred_update(&s->pred, pc, taken, s->win_target[widx])) {
+                s->waiting_branch_seq = seq;
+                break;
+            }
+            if (taken)
+                break; /* a taken branch ends the fetch group */
+        } else if (op == OP_CALL) {
+            if (pred_update_call(&s->pred, pc, pc + 4, s->win_target[widx]))
+                s->waiting_branch_seq = seq;
+            break; /* calls always redirect fetch */
+        } else if (op == OP_RETURN) {
+            if (pred_update_return(&s->pred, pc, s->win_target[widx]))
+                s->waiting_branch_seq = seq;
+            break; /* returns always redirect fetch */
+        }
+    }
+    return fetched > 0;
+}
+
+static void end_warmup(Sim *s) {
+    s->measure_start_cycle = s->cycle;
+    s->committed_at_measure_start = s->committed;
+    pool_reset_stats(&s->int_pool, s->cycle);
+    /* The walked path also resets the FP pool's statistics, but no FP
+     * statistic is observable in SimulationStats, so there is nothing
+     * to reset here (the FP pool carries timing state only). */
+    s->fetch_stall_cycles = 0;
+    s->wakeup_stall_cycles = 0;
+    s->snap_lookups = s->pred.lookups;
+    s->snap_mispredicts = s->pred.dir_mispredicts + s->pred.btb_misses_on_taken;
+    s->snap_cache[0] = s->l1i.accesses;
+    s->snap_cache[1] = s->l1i.misses;
+    s->snap_cache[2] = s->l1d.accesses;
+    s->snap_cache[3] = s->l1d.misses;
+    s->snap_cache[4] = s->l2.accesses;
+    s->snap_cache[5] = s->l2.misses;
+    s->snap_cache[6] = s->itlb.accesses;
+    s->snap_cache[7] = s->itlb.misses;
+    s->snap_cache[8] = s->dtlb.accesses;
+    s->snap_cache[9] = s->dtlb.misses;
+}
+
+static int64_t next_event_cycle(Sim *s) {
+    int64_t target = 0;
+    int have = 0;
+    if (s->comp_n) {
+        target = s->comp[0].cycle;
+        have = 1;
+    }
+    int fetch_possible = s->fetch_index < s->total &&
+                         s->waiting_branch_seq < 0 &&
+                         s->fq_count < s->fq_entries;
+    if (fetch_possible && (!have || s->fetch_stalled_until < target)) {
+        target = have && target < s->fetch_stalled_until ? target
+                                                         : s->fetch_stalled_until;
+        have = 1;
+    }
+    if (s->ready_int_n || s->ready_mem_n) {
+        int64_t wake = pool_next_wake_ready(&s->int_pool);
+        if (wake >= 0 && (!have || wake < target)) {
+            target = wake;
+            have = 1;
+        }
+    }
+    if (!have)
+        return s->cycle + 1;
+    if (s->fetch_index < s->total) {
+        int64_t stall_horizon;
+        if (s->waiting_branch_seq >= 0)
+            stall_horizon = target;
+        else
+            stall_horizon = s->fetch_stalled_until < target
+                                ? s->fetch_stalled_until
+                                : target;
+        int64_t credit = stall_horizon - s->cycle - 1;
+        if (credit > 0)
+            s->fetch_stall_cycles += credit;
+    }
+    if (s->wakeup_blocked) {
+        int64_t credit = target - s->cycle - 1;
+        if (credit > 0)
+            s->wakeup_stall_cycles += credit;
+    }
+    return s->cycle + 1 > target ? s->cycle + 1 : target;
+}
+
+/* The main loop, paused (state-neutrally, between cycles) whenever the
+ * next fetch could read beyond the delivered window. The pause must
+ * cover the WHOLE worst-case fetch group (fetch_width slots): stopping
+ * a group mid-cycle for lack of data would diverge from the walked
+ * reference, but pausing between cycles never does. */
+static int32_t run_loop(Sim *s) {
+    while (s->committed < s->total) {
+        if (s->avail_end < s->total && s->fetch_index < s->total) {
+            int64_t need = s->fetch_index + s->fetch_width;
+            if (need > s->total)
+                need = s->total;
+            if (need > s->avail_end)
+                return ST_NEED_DATA;
+        }
+        int progress = stage_writeback(s);
+        progress |= stage_commit(s);
+        int issue_result = stage_issue(s);
+        if (issue_result < 0)
+            return ST_ERROR;
+        progress |= issue_result;
+        progress |= stage_dispatch(s);
+        progress |= stage_fetch(s);
+
+        if (s->warmup_pending && s->committed >= s->warmup) {
+            end_warmup(s);
+            s->warmup_pending = 0;
+        }
+
+        if (progress)
+            s->cycle += 1;
+        else
+            s->cycle = next_event_cycle(s);
+        if (s->cycle > s->max_cycles)
+            return ST_DEADLOCK;
+    }
+    return ST_DONE;
+}
+
+/* ------------------------------------------------------------- public API */
+
+void *repro_create(const int64_t *cfg) {
+    Sim *s = (Sim *)calloc(1, sizeof(Sim));
+    if (!s)
+        return NULL;
+    s->fq_entries = (int)cfg[CFG_FQ_ENTRIES];
+    s->fetch_width = (int)cfg[CFG_FETCH_WIDTH];
+    s->decode_width = (int)cfg[CFG_DECODE_WIDTH];
+    s->issue_width = (int)cfg[CFG_ISSUE_WIDTH];
+    s->commit_width = (int)cfg[CFG_COMMIT_WIDTH];
+    s->rob_entries = (int)cfg[CFG_ROB_ENTRIES];
+    s->num_mem_ports = (int)cfg[CFG_NUM_MEM_PORTS];
+    s->mispredict_latency = cfg[CFG_MISPREDICT_LATENCY];
+    s->memory_latency = cfg[CFG_MEMORY_LATENCY];
+    s->total = cfg[CFG_TOTAL];
+    s->warmup = cfg[CFG_WARMUP];
+    s->max_cycles = cfg[CFG_MAX_CYCLES];
+    s->iq_int_free = cfg[CFG_IQ_INT];
+    s->iq_fp_free = cfg[CFG_IQ_FP];
+    s->lq_free = cfg[CFG_LQ];
+    s->sq_free = cfg[CFG_SQ];
+    s->int_regs_free = cfg[CFG_INT_REGS_FREE];
+    s->fp_regs_free = cfg[CFG_FP_REGS_FREE];
+
+    int err = assoc_init(&s->l1i, cfg + CFG_L1I);
+    err |= assoc_init(&s->l1d, cfg + CFG_L1D);
+    err |= assoc_init(&s->l2, cfg + CFG_L2);
+    err |= assoc_init(&s->itlb, cfg + CFG_ITLB);
+    err |= assoc_init(&s->dtlb, cfg + CFG_DTLB);
+    err |= pred_init(&s->pred, cfg);
+    err |= pool_init(&s->int_pool, (int)cfg[CFG_NUM_INT_FUS], 1);
+    err |= pool_init(&s->fp_pool, (int)cfg[CFG_NUM_FP_FUS], 0);
+    s->line_bits = s->l1i.shift;
+
+    s->infl_mask = next_pow2((int64_t)s->rob_entries + s->fq_entries) - 1;
+    int64_t slots = s->infl_mask + 1;
+    s->infl_seq = (int64_t *)calloc((size_t)slots, sizeof(int64_t));
+    s->infl_state = (uint8_t *)calloc((size_t)slots, 1);
+    s->infl_op = (uint8_t *)calloc((size_t)slots, 1);
+    s->infl_addr = (int64_t *)calloc((size_t)slots, sizeof(int64_t));
+    s->infl_pending = (int32_t *)calloc((size_t)slots, sizeof(int32_t));
+    s->infl_done = (uint8_t *)calloc((size_t)slots, 1);
+    s->infl_fwd = (uint8_t *)calloc((size_t)slots, 1);
+    s->infl_edges = (int32_t *)malloc((size_t)slots * sizeof(int32_t));
+    err |= !(s->infl_seq && s->infl_state && s->infl_op && s->infl_addr &&
+             s->infl_pending && s->infl_done && s->infl_fwd && s->infl_edges);
+
+    int32_t edge_cap = (int32_t)(3 * slots + 8);
+    s->edges = (Edge *)malloc((size_t)edge_cap * sizeof(Edge));
+    err |= !s->edges;
+    if (s->edges) {
+        for (int32_t i = 0; i < edge_cap - 1; i++)
+            s->edges[i].next = i + 1;
+        s->edges[edge_cap - 1].next = -1;
+        s->edge_free = 0;
+    }
+    if (s->infl_edges)
+        for (int64_t i = 0; i < slots; i++)
+            s->infl_edges[i] = -1;
+
+    s->smap_addr = (int64_t *)malloc((size_t)cfg[CFG_SQ] * sizeof(int64_t));
+    s->smap_seq = (int64_t *)malloc((size_t)cfg[CFG_SQ] * sizeof(int64_t));
+    err |= !(s->smap_addr && s->smap_seq);
+
+    int iq_int = (int)cfg[CFG_IQ_INT] + 4;
+    int iq_mem = (int)(cfg[CFG_LQ] + cfg[CFG_SQ]) + 4;
+    int iq_fp = (int)cfg[CFG_IQ_FP] + 4;
+    s->ready_int = (int64_t *)malloc((size_t)iq_int * sizeof(int64_t));
+    s->ready_mem = (int64_t *)malloc((size_t)iq_mem * sizeof(int64_t));
+    s->ready_fp = (int64_t *)malloc((size_t)iq_fp * sizeof(int64_t));
+    s->comp = (Completion *)malloc((size_t)(s->rob_entries + 4) *
+                                   sizeof(Completion));
+    err |= !(s->ready_int && s->ready_mem && s->ready_fp && s->comp);
+
+    s->waiting_branch_seq = -1;
+    s->current_fetch_line = -1;
+    s->warmup_pending = s->warmup > 0;
+    s->win_mask = -1; /* window allocated on first feed */
+
+    if (err) {
+        s->status = ST_ERROR;
+    }
+    return s;
+}
+
+/* Configure the closed-loop sleep runtime (call before the first feed). */
+int32_t repro_set_sleep(void *handle, int64_t wakeup_latency,
+                        int32_t wakeup_free, int32_t stateful,
+                        const int64_t *thresholds, close_cb_t callback) {
+    Sim *s = (Sim *)handle;
+    Pool *p = &s->int_pool;
+    p->sleep = 1;
+    p->wakeup_latency = wakeup_latency;
+    p->wakeup_free = wakeup_free;
+    p->stateful = stateful;
+    p->close_cb = callback;
+    for (int unit = 0; unit < p->n; unit++)
+        p->thresh[unit] = thresholds[unit];
+    return 0;
+}
+
+static int window_reserve(Sim *s, int64_t count) {
+    /* Live window span at feed time: the fetch queue's backward reach
+     * plus anything delivered but not yet fetched. */
+    int64_t live_start = s->fetch_index - s->fq_count;
+    int64_t needed = (s->avail_end - live_start) + count;
+    int64_t cap = s->win_mask + 1;
+    if (s->win_mask >= 0 && needed <= cap)
+        return 0;
+    int64_t new_cap = next_pow2(needed + 1);
+    uint8_t *op = (uint8_t *)malloc((size_t)new_cap);
+    int64_t *pc = (int64_t *)malloc((size_t)new_cap * sizeof(int64_t));
+    int64_t *dep1 = (int64_t *)malloc((size_t)new_cap * sizeof(int64_t));
+    int64_t *dep2 = (int64_t *)malloc((size_t)new_cap * sizeof(int64_t));
+    int64_t *addr = (int64_t *)malloc((size_t)new_cap * sizeof(int64_t));
+    uint8_t *taken = (uint8_t *)malloc((size_t)new_cap);
+    int64_t *target = (int64_t *)malloc((size_t)new_cap * sizeof(int64_t));
+    if (!(op && pc && dep1 && dep2 && addr && taken && target)) {
+        free(op);
+        free(pc);
+        free(dep1);
+        free(dep2);
+        free(addr);
+        free(taken);
+        free(target);
+        return -1;
+    }
+    int64_t new_mask = new_cap - 1;
+    for (int64_t seq = live_start; seq < s->avail_end; seq++) {
+        int64_t from = seq & s->win_mask, to = seq & new_mask;
+        op[to] = s->win_op[from];
+        pc[to] = s->win_pc[from];
+        dep1[to] = s->win_dep1[from];
+        dep2[to] = s->win_dep2[from];
+        addr[to] = s->win_addr[from];
+        taken[to] = s->win_taken[from];
+        target[to] = s->win_target[from];
+    }
+    free(s->win_op);
+    free(s->win_pc);
+    free(s->win_dep1);
+    free(s->win_dep2);
+    free(s->win_addr);
+    free(s->win_taken);
+    free(s->win_target);
+    s->win_op = op;
+    s->win_pc = pc;
+    s->win_dep1 = dep1;
+    s->win_dep2 = dep2;
+    s->win_addr = addr;
+    s->win_taken = taken;
+    s->win_target = target;
+    s->win_mask = new_mask;
+    return 0;
+}
+
+/* Append one chunk of structure-of-arrays trace data, then run. */
+int32_t repro_feed(void *handle, const uint8_t *op, const int64_t *pc,
+                   const int64_t *dep1, const int64_t *dep2,
+                   const int64_t *addr, const uint8_t *taken,
+                   const int64_t *target, int64_t count) {
+    Sim *s = (Sim *)handle;
+    if (s->status)
+        return s->status;
+    if (s->avail_end + count > s->total)
+        return ST_ERROR;
+    if (window_reserve(s, count)) {
+        s->status = ST_ERROR;
+        return ST_ERROR;
+    }
+    for (int64_t i = 0; i < count; i++) {
+        int64_t widx = (s->avail_end + i) & s->win_mask;
+        s->win_op[widx] = op[i];
+        s->win_pc[widx] = pc[i];
+        s->win_dep1[widx] = dep1[i];
+        s->win_dep2[widx] = dep2[i];
+        s->win_addr[widx] = addr[i];
+        s->win_taken[widx] = taken[i];
+        s->win_target[widx] = target[i];
+    }
+    s->avail_end += count;
+    int32_t status = run_loop(s);
+    if (status != ST_NEED_DATA)
+        s->status = status;
+    return status;
+}
+
+/* Close trailing idle intervals / wake spans (Pipeline.run's finalize). */
+int32_t repro_finalize(void *handle) {
+    Sim *s = (Sim *)handle;
+    if (s->status != ST_DONE)
+        return ST_ERROR;
+    if (pool_finalize(&s->int_pool, s->cycle))
+        return ST_ERROR;
+    if (pool_finalize(&s->fp_pool, s->cycle))
+        return ST_ERROR;
+    return ST_DONE;
+}
+
+/* Scalar-statistics export layout (must match _kernel_build.EXPORT_*). */
+#define EXPORT_LEN 31
+
+void repro_export(void *handle, int64_t *out) {
+    Sim *s = (Sim *)handle;
+    out[0] = s->cycle;
+    out[1] = s->measure_start_cycle;
+    out[2] = s->committed;
+    out[3] = s->committed_at_measure_start;
+    out[4] = s->fetch_stall_cycles;
+    out[5] = s->wakeup_stall_cycles;
+    out[6] = s->pred.lookups;
+    out[7] = s->pred.dir_mispredicts;
+    out[8] = s->pred.btb_misses_on_taken;
+    out[9] = s->l1i.accesses;
+    out[10] = s->l1i.misses;
+    out[11] = s->l1d.accesses;
+    out[12] = s->l1d.misses;
+    out[13] = s->l2.accesses;
+    out[14] = s->l2.misses;
+    out[15] = s->itlb.accesses;
+    out[16] = s->itlb.misses;
+    out[17] = s->dtlb.accesses;
+    out[18] = s->dtlb.misses;
+    out[19] = s->snap_lookups;
+    out[20] = s->snap_mispredicts;
+    for (int i = 0; i < 10; i++)
+        out[21 + i] = s->snap_cache[i];
+}
+
+/* Per-unit integer-pool statistics: 0 busy, 1 ops, 2 waking,
+ * 3 awake_wait, 4 wake_events. */
+int64_t repro_unit_stat(void *handle, int32_t unit, int32_t what) {
+    Sim *s = (Sim *)handle;
+    Pool *p = &s->int_pool;
+    switch (what) {
+    case 0:
+        return p->busy_cycles[unit];
+    case 1:
+        return p->operations[unit];
+    case 2:
+        return p->waking[unit];
+    case 3:
+        return p->awake_wait[unit];
+    case 4:
+        return p->wake_events[unit];
+    }
+    return -1;
+}
+
+int64_t repro_intervals_len(void *handle, int32_t unit) {
+    Sim *s = (Sim *)handle;
+    return s->int_pool.ivn[unit];
+}
+
+void repro_intervals_copy(void *handle, int32_t unit, int64_t *out) {
+    Sim *s = (Sim *)handle;
+    memcpy(out, s->int_pool.intervals[unit],
+           (size_t)s->int_pool.ivn[unit] * sizeof(int64_t));
+}
+
+void repro_destroy(void *handle) {
+    Sim *s = (Sim *)handle;
+    if (!s)
+        return;
+    assoc_free(&s->l1i);
+    assoc_free(&s->l1d);
+    assoc_free(&s->l2);
+    assoc_free(&s->itlb);
+    assoc_free(&s->dtlb);
+    pred_free(&s->pred);
+    pool_free(&s->int_pool);
+    pool_free(&s->fp_pool);
+    free(s->infl_seq);
+    free(s->infl_state);
+    free(s->infl_op);
+    free(s->infl_addr);
+    free(s->infl_pending);
+    free(s->infl_done);
+    free(s->infl_fwd);
+    free(s->infl_edges);
+    free(s->edges);
+    free(s->smap_addr);
+    free(s->smap_seq);
+    free(s->ready_int);
+    free(s->ready_mem);
+    free(s->ready_fp);
+    free(s->comp);
+    free(s->win_op);
+    free(s->win_pc);
+    free(s->win_dep1);
+    free(s->win_dep2);
+    free(s->win_addr);
+    free(s->win_taken);
+    free(s->win_target);
+    free(s);
+}

@@ -34,6 +34,14 @@ tallies, stall counts) accumulates online, cycle by cycle. A
 materialized list unchanged: chunks are pulled on demand and evicted
 behind the dispatch cursor, so 10M+-instruction runs execute in
 bounded memory with bit-identical results.
+
+This walked model is the *reference* implementation — the ``walk`` side
+of the ``--kernel walk|batch`` knob. :mod:`repro.cpu.kernel` runs the
+same machine as an array-batched C engine, ~10x faster on long traces;
+the kernel-equivalence gate (``tests/test_kernel_equivalence.py``)
+holds that engine to this one, ``==`` on every statistic. Behavioral
+changes here must therefore land in ``_pipeline_kernel.c`` in the same
+commit, or the gate fails.
 """
 
 from __future__ import annotations

@@ -23,6 +23,12 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.cpu.config import MachineConfig
+from repro.cpu.kernel import (
+    KERNEL_BATCH,
+    BatchPipeline,
+    batch_kernel_unavailable_reason,
+    resolve_kernel,
+)
 from repro.cpu.pipeline import Pipeline
 from repro.cpu.sleep import SleepRuntimeSpec
 from repro.cpu.stats import SimulationStats
@@ -67,6 +73,16 @@ class Simulator:
     (enforced by the streaming-equivalence CI gate), so the choice
     affects peak memory only — results, statistics, and cache keys are
     untouched.
+
+    ``kernel`` selects the simulation engine: ``"walk"`` is the
+    per-instruction reference pipeline, ``"batch"`` the array-batched C
+    kernel of :mod:`repro.cpu.kernel`, and ``None`` defers to the
+    process default (see :func:`repro.cpu.kernel.resolve_kernel`). The
+    kernels are float-for-float identical (the kernel-equivalence CI
+    gate), so — exactly like ``streaming`` — the knob affects speed
+    only, never results or cache keys. The batch kernel always consumes
+    the trace chunk by chunk, so it is bounded-memory regardless of the
+    ``streaming`` setting.
     """
 
     def __init__(
@@ -77,6 +93,7 @@ class Simulator:
         sleep: Optional[SleepRuntimeSpec] = None,
         streaming: Optional[bool] = None,
         chunk_size: Optional[int] = None,
+        kernel: Optional[str] = None,
     ):
         self.profile = profile
         self.config = config if config is not None else MachineConfig()
@@ -84,6 +101,7 @@ class Simulator:
         self.sleep = sleep
         self.streaming = streaming
         self.chunk_size = chunk_size
+        self.kernel = kernel
 
     def run(
         self,
@@ -102,6 +120,35 @@ class Simulator:
         lists grow with the run).
         """
         total = num_instructions + warmup_instructions
+        if resolve_kernel(self.kernel) == KERNEL_BATCH:
+            reason = batch_kernel_unavailable_reason()
+            if reason is not None:
+                raise RuntimeError(
+                    f"kernel 'batch' requested but unavailable: {reason}; "
+                    f"use kernel='walk' (the reference path)"
+                )
+            stats = BatchPipeline(
+                iter_trace(
+                    self.profile,
+                    total,
+                    seed=self.seed,
+                    chunk_size=resolve_chunk_size(self.chunk_size),
+                ),
+                total,
+                config=self.config,
+                record_sequences=record_sequences,
+                sleep_spec=self.sleep,
+            ).run(warmup_instructions=warmup_instructions)
+            return SimulationResult(
+                workload_name=self.profile.name,
+                num_instructions=num_instructions,
+                warmup_instructions=warmup_instructions,
+                seed=self.seed,
+                config=self.config,
+                stats=stats,
+                sleep=self.sleep,
+                record_sequences=record_sequences,
+            )
         if resolve_streaming(self.streaming, total):
             trace = StreamingTrace(
                 iter_trace(
@@ -263,15 +310,18 @@ def simulate_workload(
     record_sequences: bool = True,
     streaming: Optional[bool] = None,
     chunk_size: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> SimulationResult:
     """Run (or reuse) a simulation of ``profile`` on ``config``.
 
     The cache key covers everything that determines the outcome: the
     profile, window, warmup, seed, the machine configuration, and — for
-    closed-loop runs — the sleep runtime spec. ``streaming`` and
-    ``chunk_size`` are deliberately *not* part of either cache layer's
-    key: streaming runs reproduce materialized runs float-for-float
-    (the equivalence gate), so the modes are interchangeable cache-wise.
+    closed-loop runs — the sleep runtime spec. ``streaming``,
+    ``chunk_size``, and ``kernel`` are deliberately *not* part of either
+    cache layer's key: each alternative path reproduces the reference
+    float-for-float (the streaming- and kernel-equivalence gates), so
+    the modes are interchangeable cache-wise — a result computed by the
+    batch kernel satisfies a walk request and vice versa.
     ``use_cache=False`` bypasses both the memo and the persistent layer.
     """
     if config is None:
@@ -295,6 +345,7 @@ def simulate_workload(
         sleep=sleep,
         streaming=streaming,
         chunk_size=chunk_size,
+        kernel=kernel,
     ).run(
         num_instructions,
         warmup_instructions=warmup_instructions,

@@ -58,6 +58,24 @@ from repro.core.sleep_control import (
 from repro.cpu.fu import FunctionalUnitPool, PowerState
 
 
+def price_stateless_outcomes(policy, histogram, tally: RuntimeTally) -> None:
+    """Fold a histogram's per-interval outcomes into ``tally``.
+
+    The sorted-histogram walk of the open-loop scalar accountant: the
+    policy is reset, then every (length, count) pair is priced in
+    ascending length order and the outcome components accumulate into
+    the tally. Shared by the walked pool's :meth:`finalize` and the
+    batched kernel's statistics assembly so both paths run the exact
+    same float accumulation.
+    """
+    policy.reset()
+    for length, count in histogram:
+        outcome = policy.on_interval(length)
+        tally.uncontrolled_idle += outcome.uncontrolled_idle * count
+        tally.sleep += outcome.sleep * count
+        tally.transitions += outcome.transitions * count
+
+
 @dataclass(frozen=True)
 class SleepRuntimeSpec:
     """Everything that determines a closed-loop run's sleep behavior.
@@ -287,14 +305,9 @@ class ControlledFunctionalUnitPool(FunctionalUnitPool):
                     self._close_interval(unit, gap)
         if self._stateless:
             for unit, controller in enumerate(self.controllers):
-                tally = self.tallies[unit]
-                policy = controller.policy
-                policy.reset()
-                for length, count in self.histograms[unit]:
-                    outcome = policy.on_interval(length)
-                    tally.uncontrolled_idle += outcome.uncontrolled_idle * count
-                    tally.sleep += outcome.sleep * count
-                    tally.transitions += outcome.transitions * count
+                price_stateless_outcomes(
+                    controller.policy, self.histograms[unit], self.tallies[unit]
+                )
         for unit in range(self.num_units):
             self.tallies[unit].active = self.busy_cycles[unit]
             if self._stateless:

@@ -26,6 +26,11 @@ cache keys.
 Process-wide defaults (set by the CLI's ``--streaming``/``--chunk-size``
 flags) live here so the simulator facade and the execution engine share
 one source of truth without import cycles.
+
+:class:`TraceChunk` is also the delivery unit of the array-batched C
+kernel (:mod:`repro.cpu.kernel`), which consumes the same chunk streams
+structure-of-arrays instead of through a sliding window — same blocks,
+same contiguity contract, two engines.
 """
 
 from __future__ import annotations

@@ -26,6 +26,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.cpu import kernel as kernel_mod
 from repro.cpu import stream
 from repro.cpu.simulator import SimulationResult, cached_result, store_result
 from repro.exec.jobs import SimulationJob
@@ -84,19 +85,20 @@ def _execute_job(job: SimulationJob) -> SimulationResult:
     return job.run()
 
 
-def _stamp_streaming(job: SimulationJob) -> SimulationJob:
-    """Materialize the process-wide streaming defaults into a job.
+def _stamp_defaults(job: SimulationJob) -> SimulationJob:
+    """Materialize process-wide streaming/kernel defaults into a job.
 
     Worker processes do not share this process's
-    :func:`repro.cpu.stream.set_default_streaming` state (spawned
-    workers start fresh), so jobs that left the mode or chunk size to
+    :func:`repro.cpu.stream.set_default_streaming` or
+    :func:`repro.cpu.kernel.set_default_kernel` state (spawned workers
+    start fresh), so jobs that left the mode, chunk size, or kernel to
     the defaults must carry the resolved values across the process
-    boundary. The mode stays unstamped under auto (``None`` resolves
-    identically by length in any process), but a non-default chunk size
-    is stamped even then — auto-streamed jobs in workers must honor the
-    user's ``--chunk-size``. Streaming fields are not part of the cache
-    key, so the stamped copy addresses the same cache entries as the
-    original.
+    boundary. The streaming mode stays unstamped under auto (``None``
+    resolves identically by length in any process), but a non-default
+    chunk size is stamped even then — auto-streamed jobs in workers
+    must honor the user's ``--chunk-size``. None of these fields are
+    part of the cache key, so the stamped copy addresses the same
+    cache entries as the original.
     """
     streaming = job.streaming
     if streaming is None:
@@ -106,9 +108,18 @@ def _stamp_streaming(job: SimulationJob) -> SimulationJob:
         default_chunk = stream.get_default_chunk_size()
         if default_chunk != stream.DEFAULT_CHUNK_SIZE:
             chunk_size = default_chunk
-    if streaming == job.streaming and chunk_size == job.chunk_size:
+    kernel = job.kernel
+    if kernel is None:
+        kernel = kernel_mod.get_default_kernel()
+    if (
+        streaming == job.streaming
+        and chunk_size == job.chunk_size
+        and kernel == job.kernel
+    ):
         return job
-    return replace(job, streaming=streaming, chunk_size=chunk_size)
+    return replace(
+        job, streaming=streaming, chunk_size=chunk_size, kernel=kernel
+    )
 
 
 def run_jobs(
@@ -175,7 +186,7 @@ def _run_pending(
     pending: Sequence[Tuple[str, SimulationJob]], workers: int
 ) -> List[SimulationResult]:
     """Simulate the pending jobs, in order, serially or across processes."""
-    job_list = [_stamp_streaming(job) for _, job in pending]
+    job_list = [_stamp_defaults(job) for _, job in pending]
     if workers <= 1 or len(job_list) == 1:
         return [job.run() for job in job_list]
     max_workers = min(workers, len(job_list))

@@ -79,7 +79,16 @@ def model_fingerprint() -> str:
     root = _package_root()
     for entry in _MODEL_SOURCES:
         path = root / entry
-        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        if path.is_dir():
+            # *.c covers the batch kernel's C engine: its equivalence
+            # gate makes it outcome-neutral, but like cpu/stream.py it
+            # sits on the simulation path, so a changed engine must
+            # invalidate persistent entries all the same.
+            files = sorted(
+                [*path.rglob("*.py"), *path.rglob("*.c")]
+            )
+        else:
+            files = [path]
         for source in files:
             digest.update(str(source.relative_to(root)).encode())
             digest.update(source.read_bytes())

@@ -55,6 +55,14 @@ class SimulationJob:
     streaming: Optional[bool] = None
     #: Instructions per streamed chunk; None uses the process default.
     chunk_size: Optional[int] = None
+    #: Simulation engine: "walk" (per-instruction reference), "batch"
+    #: (array-batched C kernel), or None for the process-wide
+    #: ``--kernel`` default (stamped in when the engine ships the job to
+    #: a worker). Deliberately EXCLUDED from :meth:`cache_key` for the
+    #: same reason as ``streaming``: the kernel-equivalence gate proves
+    #: the engines produce identical results, so they must share cache
+    #: entries.
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_instructions < 1:
@@ -89,9 +97,10 @@ class SimulationJob:
     def cache_key(self) -> str:
         """Canonical versioned key; identical jobs always collide here.
 
-        ``streaming``/``chunk_size`` stay out on purpose: they select a
-        trace-delivery mechanism, not an outcome, so a streamed job must
-        hit the cache entry a materialized run wrote and vice versa.
+        ``streaming``/``chunk_size``/``kernel`` stay out on purpose:
+        they select a trace-delivery or execution mechanism, not an
+        outcome, so a streamed or batch-kernel job must hit the cache
+        entry a materialized walk wrote and vice versa.
         """
         return simulation_key(
             self.profile,
@@ -112,6 +121,7 @@ class SimulationJob:
             sleep=self.sleep,
             streaming=self.streaming,
             chunk_size=self.chunk_size,
+            kernel=self.kernel,
         ).run(
             self.num_instructions,
             warmup_instructions=self.warmup_instructions,

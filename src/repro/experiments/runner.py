@@ -23,6 +23,7 @@ import sys
 import time
 from typing import Callable, List, Optional, Tuple
 
+from repro.cpu import kernel as kernel_mod
 from repro.cpu import stream
 from repro.exec import cache as result_cache
 from repro.exec.engine import (
@@ -180,6 +181,16 @@ def add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         help="instructions per streamed trace chunk "
         f"(default: {stream.DEFAULT_CHUNK_SIZE:,})",
     )
+    parser.add_argument(
+        "--kernel",
+        choices=kernel_mod.KERNELS,
+        default=None,
+        help="simulation engine: 'walk' is the per-instruction reference "
+        "pipeline, 'batch' the array-batched C kernel (compiled on first "
+        "use; needs a C compiler). The kernels are float-for-float "
+        "identical — the choice affects speed only, never results or "
+        "cache keys (default: walk)",
+    )
 
 
 def apply_execution_arguments(args: argparse.Namespace) -> None:
@@ -188,6 +199,7 @@ def apply_execution_arguments(args: argparse.Namespace) -> None:
     if args.jobs is not None:
         set_default_workers(resolve_workers(args.jobs))
     stream.set_default_streaming(args.streaming, chunk_size=args.chunk_size)
+    kernel_mod.set_default_kernel(args.kernel)
 
 
 def main(argv=None) -> int:
