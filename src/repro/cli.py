@@ -28,6 +28,22 @@ are float-for-float identical — the kernel-equivalence CI gate asserts
 ``==`` across the benchmark suite — so the knob changes speed only,
 never results or cache keys. ``repro --version`` reports the installed
 package version.
+
+``--backend serial|pool[:N]|ssh:host,...`` selects *where* simulation
+batches execute (in-process, local worker processes, or an SSH fleet
+speaking the ``repro.exec.worker`` wire protocol) and ``--store
+local|shared:DIR|layered:DIR`` selects the persistent result store —
+``layered`` backs the per-host cache with a write-once shared directory
+so a fleet deduplicates globally. Both are outcome-neutral: the
+backend-equivalence CI gate asserts byte-identical reports across
+backends and stores. ``--verbose`` prints per-backend
+hit/miss/executed/failed counters to stderr after any subcommand.
+
+``repro cache [stats|verify|gc]`` inspects and maintains the configured
+store tier by tier: ``stats`` reports entry counts and bytes,
+``verify`` unpickles every entry and removes corrupt ones, and
+``gc --older-than DAYS`` prunes entries by age (content-addressed keys
+make pruning purely a disk-space lever — never a correctness risk).
 """
 
 from __future__ import annotations
@@ -88,11 +104,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(_registry(DEFAULT_SCALE))
-        + ["perf", "robustness", "sweep", "all", "list"],
+        + ["perf", "robustness", "sweep", "all", "cache", "list"],
         help="experiment to run, 'sweep' for a policy-grid sweep, 'perf' "
         "for the closed-loop energy-vs-slowdown study, 'robustness' for "
         "the sampled-scenario policy-robustness study, 'all' for "
-        "everything, 'list' to enumerate",
+        "everything, 'cache' to inspect/maintain the result store, "
+        "'list' to enumerate",
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        choices=("stats", "verify", "gc"),
+        default=None,
+        help="cache subcommand action ('repro cache' only; default: stats)",
     )
     parser.add_argument(
         "--quick",
@@ -197,6 +221,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the sampled scenario catalog (JSON) to this path",
     )
+    cache_group = parser.add_argument_group("cache maintenance options")
+    cache_group.add_argument(
+        "--older-than",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="'repro cache gc': remove entries not written in the last "
+        "DAYS days (fractions allowed)",
+    )
     runner.add_execution_arguments(parser)
     return parser
 
@@ -273,15 +306,51 @@ def _run_perf(args: argparse.Namespace, scale: ExperimentScale) -> str:
     return perf_impact.render(result)
 
 
-def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+def _run_cache(args: argparse.Namespace) -> int:
+    """The ``repro cache [stats|verify|gc]`` operator subcommand."""
+    from repro.exec import cache as result_cache
+    from repro.exec.stores import store_layers
+
+    store = result_cache.active()
+    if store is None:
+        print(
+            "repro cache: the persistent result store is disabled "
+            "(--no-cache / REPRO_NO_CACHE)",
+            file=sys.stderr,
+        )
+        return 2
+    action = args.action or "stats"
+    if action == "gc" and args.older_than is None:
+        print("repro cache gc: --older-than DAYS is required", file=sys.stderr)
+        return 2
+    for name, layer in store_layers(store):
+        if action == "stats":
+            stats = layer.stats()
+            print(
+                f"{name}: {stats.entries} entries, {stats.total_bytes} bytes"
+                f"  ({layer.directory})"
+            )
+        elif action == "verify":
+            verdict = layer.verify()
+            print(
+                f"{name}: {verdict.checked} checked, {verdict.ok} ok, "
+                f"{verdict.corrupt} corrupt removed  ({layer.directory})"
+            )
+        else:
+            removed = layer.gc(args.older_than * 86_400.0)
+            print(
+                f"{name}: removed {removed} entries older than "
+                f"{args.older_than:g} days  ({layer.directory})"
+            )
+    return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     scale = QUICK_SCALE if args.quick else DEFAULT_SCALE
     registry = _registry(scale)
-    if args.experiment == "list":
-        for name in sorted(registry) + ["perf", "robustness", "sweep"]:
-            print(name)
-        return 0
     runner.apply_execution_arguments(args)
+    if args.experiment == "cache":
+        return _run_cache(args)
     if args.experiment == "all":
         runner.run_all(scale, jobs=args.jobs)
         return 0
@@ -296,6 +365,24 @@ def main(argv=None) -> int:
         return 0
     print(registry[args.experiment]())
     return 0
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.action is not None and args.experiment != "cache":
+        parser.error(
+            f"'{args.action}' only applies to 'repro cache', "
+            f"not {args.experiment!r}"
+        )
+    if args.experiment == "list":
+        for name in sorted(_registry(DEFAULT_SCALE)) + ["perf", "robustness", "sweep"]:
+            print(name)
+        return 0
+    code = _dispatch(args)
+    if args.verbose:
+        runner.print_telemetry()
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,10 +7,18 @@ This package is the substrate the experiments run on:
 * :mod:`repro.exec.cache` — the persistent on-disk result cache
   (``~/.cache/repro`` by default) layered under the simulator's
   in-process memo;
+* :mod:`repro.exec.stores` — shared write-once and layered
+  (read-through/write-back) result stores behind the same protocol, so
+  a fleet deduplicates globally;
 * :mod:`repro.exec.jobs` — :class:`SimulationJob`, the unit of
   schedulable work;
-* :mod:`repro.exec.engine` — batch deduplication and multi-core fan-out
-  with deterministic result ordering.
+* :mod:`repro.exec.backends` — the pluggable execution backends
+  (in-process serial, local process pool, SSH fan-out) behind one
+  batch-submission protocol;
+* :mod:`repro.exec.worker` — the stdio job worker remote backends
+  drive, speaking length-prefixed JSON frames;
+* :mod:`repro.exec.engine` — batch deduplication, store resolution,
+  and backend dispatch with deterministic result ordering.
 
 :mod:`repro.cpu.simulator` imports the cache layer from here, and the
 job/engine layer imports the simulator — so this ``__init__`` loads only
@@ -30,14 +38,36 @@ _LAZY = {
     "resolve_workers": ("repro.exec.engine", "resolve_workers"),
     "set_default_workers": ("repro.exec.engine", "set_default_workers"),
     "get_default_workers": ("repro.exec.engine", "get_default_workers"),
+    "ExecutionBackend": ("repro.exec.backends", "ExecutionBackend"),
+    "SerialBackend": ("repro.exec.backends", "SerialBackend"),
+    "ProcessPoolBackend": ("repro.exec.backends", "ProcessPoolBackend"),
+    "SSHBackend": ("repro.exec.backends", "SSHBackend"),
+    "parse_backend_spec": ("repro.exec.backends", "parse_backend_spec"),
+    "resolve_backend": ("repro.exec.backends", "resolve_backend"),
+    "set_default_backend": ("repro.exec.backends", "set_default_backend"),
+    "ResultStore": ("repro.exec.stores", "ResultStore"),
+    "SharedDirectoryStore": ("repro.exec.stores", "SharedDirectoryStore"),
+    "LayeredStore": ("repro.exec.stores", "LayeredStore"),
+    "parse_store_spec": ("repro.exec.stores", "parse_store_spec"),
     "jobs": ("repro.exec.jobs", None),
     "engine": ("repro.exec.engine", None),
+    "backends": ("repro.exec.backends", None),
+    "stores": ("repro.exec.stores", None),
+    "worker": ("repro.exec.worker", None),
 }
 
 __all__ = [
     "BatchReport",
+    "ExecutionBackend",
+    "LayeredStore",
+    "ProcessPoolBackend",
     "ResultCache",
+    "ResultStore",
+    "SSHBackend",
+    "SerialBackend",
+    "SharedDirectoryStore",
     "SimulationJob",
+    "backends",
     "cache",
     "canonical_key",
     "default_cache_dir",
@@ -46,10 +76,16 @@ __all__ = [
     "hashing",
     "jobs",
     "model_fingerprint",
+    "parse_backend_spec",
+    "parse_store_spec",
+    "resolve_backend",
     "resolve_workers",
     "run_jobs",
+    "set_default_backend",
     "set_default_workers",
     "simulation_key",
+    "stores",
+    "worker",
 ]
 
 

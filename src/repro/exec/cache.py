@@ -11,9 +11,12 @@ results cannot leak across code changes. Writes are atomic (temp file +
 rename) so concurrent processes sharing one cache directory never observe
 torn entries.
 
-The module keeps one process-wide *active* cache, configured once by the
+The module keeps one process-wide *active* store, configured once by the
 CLI (or implicitly on first use); the simulator façade layers it under
-its in-process memo.
+its in-process memo. The default shape is this module's plain local
+directory store; ``--store shared:DIR`` / ``--store layered:DIR`` swap
+in the write-once shared-filesystem compositions of
+:mod:`repro.exec.stores` behind the same ``get``/``put`` protocol.
 """
 
 from __future__ import annotations
@@ -21,13 +24,35 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Optional, Union
+from typing import Iterator, Optional, Tuple, Union
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_NO_CACHE = "REPRO_NO_CACHE"
+ENV_STORE = "REPRO_STORE"
 
 _SUFFIX = ".pkl"
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """What ``repro cache stats`` reports for one store tier."""
+
+    entries: int
+    total_bytes: int
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """What ``repro cache verify`` found in one store tier."""
+
+    checked: int
+    ok: int
+    #: Corrupt entries found — and removed, so the next writer rewrites
+    #: them instead of every reader tripping over the damage.
+    corrupt: int
 
 
 def default_cache_dir() -> Path:
@@ -42,9 +67,16 @@ class ResultCache:
     """A directory of pickled values addressed by hex content keys.
 
     Entries are sharded into ``key[:2]`` subdirectories to keep any one
-    directory small. Unreadable or corrupt entries count as misses and
-    are deleted.
+    directory small. Unreadable, truncated, or corrupt entries count as
+    misses and are deleted, so the next writer simply rewrites them —
+    damage degrades to one redundant simulation, never an exception.
+
+    This is the ``local`` tier of the :mod:`repro.exec.stores` protocol;
+    :class:`~repro.exec.stores.SharedDirectoryStore` layers write-once
+    publish semantics on the same layout.
     """
+
+    name = "local"
 
     def __init__(self, directory: Union[str, Path]):
         self.directory = Path(directory).expanduser()
@@ -100,6 +132,11 @@ class ResultCache:
             return iter(())
         return self.directory.glob(f"??/*{_SUFFIX}")
 
+    def entries(self) -> Iterator[Tuple[str, Path]]:
+        """Every ``(key, path)`` currently stored, in directory order."""
+        for path in self._entries():
+            yield path.name[: -len(_SUFFIX)], path
+
     def __len__(self) -> int:
         return sum(1 for _ in self._entries())
 
@@ -114,22 +151,93 @@ class ResultCache:
                 pass
         return removed
 
+    def describe(self) -> str:
+        return f"{self.name}:{self.directory}"
+
+    # -- operator maintenance (the ``repro cache`` subcommand) ---------
+
+    def stats(self) -> StoreStats:
+        """Entry count and total size on disk."""
+        entries = 0
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        return StoreStats(entries=entries, total_bytes=total)
+
+    def verify(self) -> VerifyReport:
+        """Unpickle every entry; remove (and count) the corrupt ones."""
+        checked = ok = corrupt = 0
+        for path in list(self._entries()):
+            try:
+                data = path.read_bytes()
+            except OSError:
+                continue
+            checked += 1
+            try:
+                pickle.loads(data)
+            except Exception:
+                corrupt += 1
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            else:
+                ok += 1
+        return VerifyReport(checked=checked, ok=ok, corrupt=corrupt)
+
+    def gc(self, older_than_seconds: float, now: Optional[float] = None) -> int:
+        """Remove entries not modified in the last ``older_than_seconds``.
+
+        Returns how many were removed. Content-addressed entries never
+        go stale (the model fingerprint in the key sees to that), so gc
+        is purely a disk-space lever — pruning old entries can only
+        cost re-simulation, never correctness.
+        """
+        cutoff = (now if now is not None else time.time()) - older_than_seconds
+        removed = 0
+        for path in list(self._entries()):
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue
+            if mtime < cutoff:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
 
 # -- process-wide active cache -------------------------------------------------
 
-_active_cache: Optional[ResultCache] = None
+#: The active store: a :class:`ResultCache`, or any
+#: :class:`repro.exec.stores.ResultStore` (shared/layered compositions).
+_active_cache: Optional[object] = None
 _enabled: bool = True
 _configured: bool = False
 
 
 def configure(
-    cache_dir: Optional[Union[str, Path]] = None, enabled: bool = True
+    cache_dir: Optional[Union[str, Path]] = None,
+    enabled: bool = True,
+    store: Optional[object] = None,
 ) -> Optional[ResultCache]:
-    """Set the process-wide cache; returns it (``None`` when disabled).
+    """Set the process-wide store; returns it (``None`` when disabled).
 
-    ``cache_dir=None`` selects :func:`default_cache_dir`. Passing
-    ``enabled=False`` (the CLI's ``--no-cache``) turns the persistent
-    layer off; the in-process memo is unaffected.
+    ``cache_dir=None`` selects :func:`default_cache_dir`. ``store``
+    picks the store shape: ``None`` consults ``$REPRO_STORE`` and
+    defaults to the plain local directory store; a spec string
+    (``local`` | ``shared:DIR`` | ``layered:DIR``) is parsed by
+    :func:`repro.exec.stores.parse_store_spec`; any other object is
+    installed as-is (for tests and embedders providing their own
+    :class:`~repro.exec.stores.ResultStore`). Passing ``enabled=False``
+    (the CLI's ``--no-cache``) turns the persistent layer off; the
+    in-process memo is unaffected.
     """
     global _active_cache, _enabled, _configured
     _configured = True
@@ -137,14 +245,26 @@ def configure(
     if not _enabled:
         _active_cache = None
         return None
-    directory = Path(cache_dir).expanduser() if cache_dir else default_cache_dir()
-    if _active_cache is None or _active_cache.directory != directory:
-        _active_cache = ResultCache(directory)
+    if store is None:
+        store = os.environ.get(ENV_STORE) or None
+    if store is None or (isinstance(store, str) and store.strip() == "local"):
+        directory = Path(cache_dir).expanduser() if cache_dir else default_cache_dir()
+        # Reuse the live store (and its counters) when nothing changed;
+        # a non-plain store (shared/layered) is always rebuilt so a
+        # ``--store local`` run cannot inherit a layered composition.
+        if type(_active_cache) is not ResultCache or _active_cache.directory != directory:
+            _active_cache = ResultCache(directory)
+    elif isinstance(store, str):
+        from repro.exec.stores import parse_store_spec
+
+        _active_cache = parse_store_spec(store, cache_dir)
+    else:
+        _active_cache = store
     return _active_cache
 
 
-def active() -> Optional[ResultCache]:
-    """The process-wide cache, configured on first use; ``None`` if off."""
+def active() -> Optional[object]:
+    """The process-wide store, configured on first use; ``None`` if off."""
     if not _configured:
         configure()
     return _active_cache if _enabled else None

@@ -1,4 +1,4 @@
-"""The batch scheduler: deduplicate, fan out, return in order.
+"""The batch scheduler: deduplicate, resolve from the store, fan out.
 
 :func:`run_jobs` is the single entry point the experiments submit their
 simulation batches through. It
@@ -6,30 +6,50 @@ simulation batches through. It
 1. deduplicates the batch by canonical cache key (Figure 7's 12-cycle-L2
    batch and Figure 8's default batch are the same nine jobs);
 2. resolves whatever it can from the cache layers (in-process memo, then
-   the persistent on-disk cache);
-3. fans the remaining jobs out across worker processes with
-   :class:`concurrent.futures.ProcessPoolExecutor` (or runs them inline
-   when one worker is requested or only one job is pending);
-4. stores fresh results back into both cache layers;
+   the persistent result store — local, shared, or layered, see
+   :mod:`repro.exec.stores`);
+3. hands the remaining jobs to an :class:`~repro.exec.backends.ExecutionBackend`
+   — in-process serial, the local process pool, or SSH fan-out across
+   hosts (:mod:`repro.exec.backends`) — after stamping process-wide
+   streaming/kernel defaults into them;
+4. stores fresh results back into every cache layer;
 5. returns results in the submission order of the *original* batch, so
-   parallel and serial execution are observationally identical.
+   every backend is observationally identical (the backend-equivalence
+   CI gate asserts byte-identity across serial, pool, and
+   ssh-localhost).
 
 The default worker count is process-wide state set by the CLIs'
-``--jobs`` flag (or ``REPRO_JOBS``); library callers can override it per
-batch.
+``--jobs`` flag (or ``$REPRO_JOBS``); the default backend by
+``--backend`` (or ``$REPRO_BACKEND``). Library callers can override
+both per batch.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.cpu import kernel as kernel_mod
-from repro.cpu import stream
 from repro.cpu.simulator import SimulationResult, cached_result, store_result
+from repro.exec.backends import (
+    ExecutionBackend,
+    resolve_backend,
+    set_default_backend,
+)
 from repro.exec.jobs import SimulationJob
+
+__all__ = [
+    "ENV_JOBS",
+    "BatchReport",
+    "get_default_workers",
+    "reset_telemetry",
+    "resolve_workers",
+    "run_jobs",
+    "set_default_backend",
+    "set_default_workers",
+    "telemetry",
+    "telemetry_lines",
+]
 
 ENV_JOBS = "REPRO_JOBS"
 
@@ -71,81 +91,89 @@ def get_default_workers() -> int:
 
 @dataclass
 class BatchReport:
-    """What :func:`run_jobs` did with one batch (for logging and tests)."""
+    """What :func:`run_jobs` did with one batch (for logging and tests).
+
+    ``cache_hits``/``cache_misses`` partition the *unique* jobs by
+    whether a cache layer answered them; ``executed`` counts jobs a
+    backend completed and ``failed`` those that aborted the batch, so
+    on success ``executed == cache_misses`` and a warm batch shows
+    ``executed == 0``.
+    """
 
     submitted: int = 0
     unique: int = 0
     cache_hits: int = 0
+    cache_misses: int = 0
     executed: int = 0
+    failed: int = 0
     workers_used: int = 1
-
-
-def _execute_job(job: SimulationJob) -> SimulationResult:
-    """Worker-process entry point: simulate, no cache access."""
-    return job.run()
+    #: Which backend ran the pending jobs ("" for an all-warm batch —
+    #: no backend was consulted at all).
+    backend: str = ""
 
 
 def _stamp_defaults(job: SimulationJob) -> SimulationJob:
-    """Materialize process-wide streaming/kernel defaults into a job.
-
-    Worker processes do not share this process's
-    :func:`repro.cpu.stream.set_default_streaming` or
-    :func:`repro.cpu.kernel.set_default_kernel` state (spawned workers
-    start fresh), so jobs that left the mode, chunk size, or kernel to
-    the defaults must carry the resolved values across the process
-    boundary. The streaming mode stays unstamped under auto (``None``
-    resolves identically by length in any process), but a non-default
-    chunk size is stamped even then — auto-streamed jobs in workers
-    must honor the user's ``--chunk-size``. None of these fields are
-    part of the cache key, so the stamped copy addresses the same
-    cache entries as the original.
-    """
-    streaming = job.streaming
-    if streaming is None:
-        streaming = stream.get_default_streaming()
-    chunk_size = job.chunk_size
-    if chunk_size is None:
-        default_chunk = stream.get_default_chunk_size()
-        if default_chunk != stream.DEFAULT_CHUNK_SIZE:
-            chunk_size = default_chunk
-    kernel = job.kernel
-    if kernel is None:
-        kernel = kernel_mod.get_default_kernel()
-    if (
-        streaming == job.streaming
-        and chunk_size == job.chunk_size
-        and kernel == job.kernel
-    ):
-        return job
-    return replace(
-        job, streaming=streaming, chunk_size=chunk_size, kernel=kernel
-    )
+    """Back-compat alias for :meth:`SimulationJob.with_stamped_defaults`."""
+    return job.with_stamped_defaults()
 
 
-def run_jobs(
-    jobs: Iterable[SimulationJob],
-    workers: Optional[int] = None,
-    use_cache: bool = True,
-    report: Optional[BatchReport] = None,
-) -> List[SimulationResult]:
-    """Execute a batch of simulation jobs, returning results in order.
+# -- per-backend telemetry -----------------------------------------------------
 
-    Duplicate jobs (by canonical key) are simulated once; results are
-    deterministic and independent of the worker count.
-    """
-    ordered = list(jobs)
-    workers = resolve_workers(workers)
-    key_order: List[str] = []
-    unique: Dict[str, SimulationJob] = {}
-    for job in ordered:
-        key = job.cache_key()
-        key_order.append(key)
-        if key not in unique:
-            unique[key] = job
+#: Process-wide counters, one aggregate per backend name (plus "(warm)"
+#: for batches fully answered by the caches). The CLIs print these
+#: under ``--verbose``; the backend-equivalence CI gate greps them to
+#: prove a warm fleet run executed zero jobs.
+_TELEMETRY: Dict[str, BatchReport] = {}
 
-    results: Dict[str, SimulationResult] = {}
-    pending: List[Tuple[str, SimulationJob]] = []
-    for key, job in unique.items():
+_COUNTER_FIELDS = ("submitted", "unique", "cache_hits", "cache_misses", "executed", "failed")
+
+
+def _record_telemetry(report: BatchReport) -> None:
+    name = report.backend or "(warm)"
+    tally = _TELEMETRY.setdefault(name, BatchReport(backend=name))
+    for name_ in _COUNTER_FIELDS:
+        setattr(tally, name_, getattr(tally, name_) + getattr(report, name_))
+    tally.workers_used = max(tally.workers_used, report.workers_used)
+
+
+def telemetry() -> Dict[str, BatchReport]:
+    """A copy of the process-wide per-backend counters."""
+    return {
+        name: BatchReport(**{f.name: getattr(tally, f.name) for f in fields(BatchReport)})
+        for name, tally in _TELEMETRY.items()
+    }
+
+
+def reset_telemetry() -> None:
+    """Zero the process-wide counters (tests, embedding applications)."""
+    _TELEMETRY.clear()
+
+
+def telemetry_lines() -> List[str]:
+    """The ``--verbose`` per-backend counter lines, sorted by backend."""
+    return [
+        f"[repro] backend {name}: submitted={t.submitted} unique={t.unique} "
+        f"hits={t.cache_hits} misses={t.cache_misses} executed={t.executed} "
+        f"failed={t.failed} workers={t.workers_used}"
+        for name, t in sorted(_TELEMETRY.items())
+    ]
+
+
+# -- batch execution -----------------------------------------------------------
+
+
+@dataclass
+class _BatchState:
+    """Bookkeeping shared by the phases of one :func:`run_jobs` call."""
+
+    key_order: List[str] = field(default_factory=list)
+    unique: Dict[str, SimulationJob] = field(default_factory=dict)
+    results: Dict[str, SimulationResult] = field(default_factory=dict)
+    pending: List[Tuple[str, SimulationJob]] = field(default_factory=list)
+
+
+def _resolve_from_cache(state: _BatchState, use_cache: bool) -> None:
+    for key, job in state.unique.items():
         hit = (
             cached_result(
                 job.profile,
@@ -160,37 +188,69 @@ def run_jobs(
             else None
         )
         if hit is not None:
-            results[key] = hit
+            state.results[key] = hit
         else:
-            pending.append((key, job))
+            state.pending.append((key, job))
+
+
+def run_jobs(
+    jobs: Iterable[SimulationJob],
+    workers: Optional[int] = None,
+    use_cache: bool = True,
+    report: Optional[BatchReport] = None,
+    backend: Union[None, str, ExecutionBackend] = None,
+) -> List[SimulationResult]:
+    """Execute a batch of simulation jobs, returning results in order.
+
+    Duplicate jobs (by canonical key) are simulated once; results are
+    deterministic and independent of the worker count *and* of the
+    backend (``None`` uses the process-wide default, a string is a
+    ``--backend`` spec, anything else an
+    :class:`~repro.exec.backends.ExecutionBackend` instance). A failed
+    job aborts the batch: the exception propagates after the counters
+    are recorded, and no partial result list is returned.
+    """
+    ordered = list(jobs)
+    backend_obj = resolve_backend(backend, workers=workers)
+    state = _BatchState()
+    for job in ordered:
+        key = job.cache_key()
+        state.key_order.append(key)
+        if key not in state.unique:
+            state.unique[key] = job
+
+    _resolve_from_cache(state, use_cache)
 
     workers_used = 1
-    if pending:
-        fresh = _run_pending(pending, workers)
-        workers_used = min(workers, len(pending)) if workers > 1 else 1
-        for (key, job), result in zip(pending, fresh):
-            results[key] = result
-            if use_cache:
-                store_result(job.profile, result)
+    executed = 0
+    failed = 0
+    try:
+        if state.pending:
+            workers_used = backend_obj.workers_for(len(state.pending))
+            stamped = [job.with_stamped_defaults() for _, job in state.pending]
+            for index, result in backend_obj.submit_batch(stamped):
+                key, job = state.pending[index]
+                state.results[key] = result
+                executed += 1
+                if use_cache:
+                    store_result(job.profile, result)
+    except BaseException:
+        failed = 1
+        raise
+    finally:
+        batch = BatchReport(
+            submitted=len(ordered),
+            unique=len(state.unique),
+            cache_hits=len(state.unique) - len(state.pending),
+            cache_misses=len(state.pending),
+            executed=executed,
+            failed=failed,
+            workers_used=workers_used,
+            backend=backend_obj.name if state.pending else "",
+        )
+        _record_telemetry(batch)
+        if report is not None:
+            for field_ in fields(BatchReport):
+                setattr(report, field_.name, getattr(batch, field_.name))
 
-    if report is not None:
-        report.submitted = len(ordered)
-        report.unique = len(unique)
-        report.cache_hits = len(unique) - len(pending)
-        report.executed = len(pending)
-        report.workers_used = workers_used
-    return [results[key] for key in key_order]
-
-
-def _run_pending(
-    pending: Sequence[Tuple[str, SimulationJob]], workers: int
-) -> List[SimulationResult]:
-    """Simulate the pending jobs, in order, serially or across processes."""
-    job_list = [_stamp_defaults(job) for _, job in pending]
-    if workers <= 1 or len(job_list) == 1:
-        return [job.run() for job in job_list]
-    max_workers = min(workers, len(job_list))
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        # Executor.map preserves submission order, so results line up
-        # with ``pending`` regardless of completion order.
-        return list(pool.map(_execute_job, job_list))
+    return [state.results[key] for key in state.key_order]

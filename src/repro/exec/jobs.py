@@ -10,9 +10,11 @@ worker processes as-is).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Optional, Union
 
+from repro.cpu import kernel as kernel_mod
+from repro.cpu import stream
 from repro.cpu.config import MachineConfig
 from repro.cpu.simulator import SimulationResult, Simulator
 from repro.cpu.sleep import SleepRuntimeSpec
@@ -111,6 +113,41 @@ class SimulationJob:
             sleep=self.sleep,
             record_sequences=self.record_sequences,
         )
+
+    def with_stamped_defaults(self) -> "SimulationJob":
+        """Materialize process-wide streaming/kernel defaults into the job.
+
+        Worker processes — spawned pool workers and remote SSH workers
+        alike — do not share this process's
+        :func:`repro.cpu.stream.set_default_streaming` or
+        :func:`repro.cpu.kernel.set_default_kernel` state, so jobs that
+        left the mode, chunk size, or kernel to the defaults must carry
+        the resolved values across the process boundary. The streaming
+        mode stays unstamped under auto (``None`` resolves identically
+        by length in any process), but a non-default chunk size is
+        stamped even then — auto-streamed jobs in workers must honor the
+        user's ``--chunk-size``. None of these fields are part of the
+        cache key, so the stamped copy addresses the same cache entries
+        as the original.
+        """
+        streaming = self.streaming
+        if streaming is None:
+            streaming = stream.get_default_streaming()
+        chunk_size = self.chunk_size
+        if chunk_size is None:
+            default_chunk = stream.get_default_chunk_size()
+            if default_chunk != stream.DEFAULT_CHUNK_SIZE:
+                chunk_size = default_chunk
+        kernel = self.kernel
+        if kernel is None:
+            kernel = kernel_mod.get_default_kernel()
+        if (
+            streaming == self.streaming
+            and chunk_size == self.chunk_size
+            and kernel == self.kernel
+        ):
+            return self
+        return replace(self, streaming=streaming, chunk_size=chunk_size, kernel=kernel)
 
     def run(self) -> SimulationResult:
         """Execute the simulation directly, bypassing every cache layer."""

@@ -26,6 +26,7 @@ from typing import Callable, List, Optional, Tuple
 from repro.cpu import kernel as kernel_mod
 from repro.cpu import stream
 from repro.exec import cache as result_cache
+from repro.exec import engine
 from repro.exec.engine import (
     BatchReport,
     resolve_workers,
@@ -191,15 +192,62 @@ def add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         "identical — the choice affects speed only, never results or "
         "cache keys (default: walk)",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="SPEC",
+        help="execution backend for simulation batches: 'serial' "
+        "(in-process, for debugging), 'pool[:N]' (local worker "
+        "processes — today's --jobs fan-out), or 'ssh:host1,host2,...' "
+        "(remote workers over SSH; the pseudo-host 'localhost' spawns "
+        "a local worker without sshd). Results are byte-identical "
+        "across backends (default: $REPRO_BACKEND or pool)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="SPEC",
+        help="persistent result store: 'local' (per-host --cache-dir), "
+        "'shared:DIR' (write-once shared-filesystem store), or "
+        "'layered:DIR' (read-through/write-back: local tier backed by "
+        "the shared DIR, so a fleet deduplicates globally; default: "
+        "$REPRO_STORE or local)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="print per-backend execution counters "
+        "(submitted/hits/misses/executed/failed) to stderr after the run",
+    )
 
 
 def apply_execution_arguments(args: argparse.Namespace) -> None:
     """Configure the process-wide engine state from parsed CLI flags."""
-    result_cache.configure(cache_dir=args.cache_dir, enabled=not args.no_cache)
+    result_cache.configure(
+        cache_dir=args.cache_dir,
+        enabled=not args.no_cache,
+        store=getattr(args, "store", None),
+    )
     if args.jobs is not None:
         set_default_workers(resolve_workers(args.jobs))
+    engine.set_default_backend(getattr(args, "backend", None))
     stream.set_default_streaming(args.streaming, chunk_size=args.chunk_size)
     kernel_mod.set_default_kernel(args.kernel)
+
+
+def print_telemetry(file=None) -> None:
+    """Print the per-backend execution counters (the ``--verbose`` report).
+
+    Goes to stderr by default so rendered experiment output on stdout
+    stays byte-identical with and without ``--verbose``.
+    """
+    out = file if file is not None else sys.stderr
+    lines = engine.telemetry_lines()
+    if not lines:
+        print("[repro] no simulation batches were submitted", file=out)
+    for line in lines:
+        print(line, file=out)
 
 
 def main(argv=None) -> int:
@@ -213,6 +261,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     apply_execution_arguments(args)
     run_all(QUICK_SCALE if args.quick else DEFAULT_SCALE, jobs=args.jobs)
+    if args.verbose:
+        print_telemetry()
     return 0
 
 

@@ -1,20 +1,26 @@
 """Unit tests for the command-line interface."""
 
+import os
+
 import pytest
 
 import repro
 from repro import cli
 from repro.cpu import stream
-from repro.exec import cache
+from repro.exec import cache, engine
+from repro.exec.backends import SerialBackend, resolve_backend, set_default_backend
+from repro.exec.cache import ResultCache
 from repro.exec.engine import set_default_workers
+from repro.exec.stores import LayeredStore
 
 
 @pytest.fixture
 def restore_engine_state(preserve_cache_config):
-    """Restore the cache, worker, and streaming configuration ``main``
-    mutates through the execution flags."""
+    """Restore the cache, worker, backend, and streaming configuration
+    ``main`` mutates through the execution flags."""
     yield
     set_default_workers(None)
+    set_default_backend(None)
     stream.set_default_streaming(None)
 
 
@@ -241,3 +247,139 @@ class TestStreamingFlags:
         )
         out = capsys.readouterr().out
         assert "Policy robustness: 2 scenarios" in out
+
+
+class TestBackendAndStoreFlags:
+    def test_flags_parse(self):
+        args = cli.build_parser().parse_args(
+            ["table3", "--backend", "ssh:h1,h2", "--store", "layered:/mnt/x", "-v"]
+        )
+        assert args.backend == "ssh:h1,h2"
+        assert args.store == "layered:/mnt/x"
+        assert args.verbose
+
+    def test_defaults_are_none(self):
+        args = cli.build_parser().parse_args(["table3"])
+        assert args.backend is None
+        assert args.store is None
+        assert not args.verbose
+
+    def test_main_sets_the_process_backend(self, capsys, restore_engine_state):
+        assert cli.main(["table1", "--backend", "serial"]) == 0
+        assert isinstance(resolve_backend(None), SerialBackend)
+
+    def test_main_installs_the_store(self, capsys, restore_engine_state, tmp_path):
+        assert (
+            cli.main(
+                [
+                    "table1",
+                    "--cache-dir", str(tmp_path / "local"),
+                    "--store", f"layered:{tmp_path / 'shared'}",
+                ]
+            )
+            == 0
+        )
+        store = cache.active()
+        assert isinstance(store, LayeredStore)
+        assert store.local.directory == tmp_path / "local"
+        assert store.shared.directory == tmp_path / "shared"
+
+    def test_verbose_reports_backend_counters(
+        self, capsys, restore_engine_state, tmp_path
+    ):
+        from repro.cpu.simulator import clear_simulation_cache
+
+        clear_simulation_cache()
+        engine.reset_telemetry()
+        assert (
+            cli.main(
+                ["figure7", "--quick", "--verbose", "--backend", "serial",
+                 "--cache-dir", str(tmp_path / "cache")]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "[repro] backend serial:" in err
+        assert "executed=" in err
+
+    def test_verbose_without_batches_says_so(self, capsys, restore_engine_state):
+        engine.reset_telemetry()
+        assert cli.main(["table1", "--verbose"]) == 0
+        assert "no simulation batches" in capsys.readouterr().err
+
+
+class TestCacheSubcommand:
+    def _populated(self, tmp_path):
+        store = ResultCache(tmp_path / "cache")
+        store.put("aa" + "0" * 62, {"payload": 1})
+        store.put("bb" + "0" * 62, {"payload": 2})
+        return store
+
+    def test_stats_is_the_default_action(
+        self, capsys, restore_engine_state, tmp_path
+    ):
+        self._populated(tmp_path)
+        assert cli.main(["cache", "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "local: 2 entries" in out
+        assert str(tmp_path / "cache") in out
+
+    def test_verify_removes_corrupt_entries(
+        self, capsys, restore_engine_state, tmp_path
+    ):
+        store = self._populated(tmp_path)
+        path = store._path("aa" + "0" * 62)
+        path.write_bytes(path.read_bytes()[:10])
+        assert cli.main(["cache", "verify", "--cache-dir", str(store.directory)]) == 0
+        out = capsys.readouterr().out
+        assert "2 checked, 1 ok, 1 corrupt removed" in out
+        assert not path.exists()
+
+    def test_gc_requires_older_than(self, capsys, restore_engine_state, tmp_path):
+        self._populated(tmp_path)
+        assert cli.main(["cache", "gc", "--cache-dir", str(tmp_path / "cache")]) == 2
+        assert "--older-than" in capsys.readouterr().err
+
+    def test_gc_prunes_by_age(self, capsys, restore_engine_state, tmp_path):
+        store = self._populated(tmp_path)
+        old = store._path("aa" + "0" * 62)
+        stale = old.stat().st_mtime - 10 * 86_400
+        os.utime(old, (stale, stale))
+        assert (
+            cli.main(
+                ["cache", "gc", "--older-than", "7",
+                 "--cache-dir", str(store.directory)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "removed 1 entries older than 7 days" in out
+        assert not old.exists()
+
+    def test_layered_store_reports_each_tier(
+        self, capsys, restore_engine_state, tmp_path
+    ):
+        assert (
+            cli.main(
+                ["cache", "--cache-dir", str(tmp_path / "local"),
+                 "--store", f"layered:{tmp_path / 'shared'}"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "local: 0 entries" in out
+        assert "shared: 0 entries" in out
+
+    def test_disabled_store_exits_nonzero(self, capsys, restore_engine_state):
+        assert cli.main(["cache", "--no-cache"]) == 2
+        assert "disabled" in capsys.readouterr().err
+
+    def test_action_rejected_outside_cache(self, capsys, restore_engine_state):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["table1", "stats"])
+        assert excinfo.value.code == 2
+        assert "only applies to 'repro cache'" in capsys.readouterr().err
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["cache", "shrink"])
