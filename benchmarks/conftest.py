@@ -15,6 +15,7 @@ import pytest
 
 from repro.exec import cache as result_cache
 from repro.experiments.common import ExperimentScale
+from repro.util.benchjson import record_benchmark
 
 #: Scale used by the empirical benchmark harness.
 MEDIUM_SCALE = ExperimentScale(window_instructions=20_000, warmup_instructions=15_000)
@@ -30,3 +31,14 @@ def _shared_result_cache():
 @pytest.fixture(scope="session")
 def medium_scale():
     return MEDIUM_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Record a bench's numbers into the ``$REPRO_BENCH_JSON`` artifact.
+
+    A thin alias for :func:`repro.util.benchjson.record_benchmark`:
+    ``bench_record(name, ops_per_sec=..., speedup=..., **extra)``.
+    No-op unless CI (or a curious developer) sets the env var.
+    """
+    return record_benchmark

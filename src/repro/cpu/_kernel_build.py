@@ -8,6 +8,11 @@ batch-kernel run compiles it with the system C compiler (``$CC`` or
 The ABI is plain C (no ``Python.h``), so the build needs only a C
 compiler — no Python headers, no third-party packages.
 
+:func:`build_shared_library` is the reusable half of that recipe —
+hash-keyed cache lookup, atomic compile, tempdir fallback — shared with
+the columnar trace walker (:mod:`repro.cpu._trace_build`), which ships
+its own C source under the same contract.
+
 When no compiler is available (or the build fails), the batch kernel is
 simply unavailable: :func:`batch_kernel_available` returns False with a
 reason, and callers fall back to (or error toward) the walked reference
@@ -138,6 +143,33 @@ def _bind(lib: ctypes.CDLL) -> ctypes.CDLL:
     return lib
 
 
+def build_shared_library(source: Path) -> Path:
+    """Compile ``source`` into the hash-keyed cache; return the .so path.
+
+    Compiles at most once per source revision: the output lives in a
+    directory keyed by the source's SHA-256, with an atomic rename so
+    racing processes never load a half-written object. An unwritable
+    cache root falls back to a throwaway (still hash-keyed) build under
+    the system temp directory. Raises ``RuntimeError`` on compile
+    failure.
+    """
+    source_hash = hashlib.sha256(source.read_bytes()).hexdigest()
+    stem = source.stem
+    shared = _cache_dir(source_hash) / f"{stem}.so"
+    if not shared.exists():
+        try:
+            _compile(source, shared)
+        except OSError:
+            shared = (
+                Path(tempfile.gettempdir())
+                / f"repro-kernel-{source_hash[:16]}"
+                / f"{stem}.so"
+            )
+            if not shared.exists():
+                _compile(source, shared)
+    return shared
+
+
 def kernel_library() -> ctypes.CDLL:
     """The loaded kernel shared library, building it on first use.
 
@@ -152,23 +184,7 @@ def kernel_library() -> ctypes.CDLL:
         raise RuntimeError(_load_error)
     _load_attempted = True
     try:
-        source_bytes = _SOURCE.read_bytes()
-        source_hash = hashlib.sha256(source_bytes).hexdigest()
-        shared = _cache_dir(source_hash) / "_pipeline_kernel.so"
-        if not shared.exists():
-            try:
-                _compile(_SOURCE, shared)
-            except OSError:
-                # Unwritable cache root: fall back to a throwaway build
-                # in the system temp directory (still hash-keyed).
-                shared = (
-                    Path(tempfile.gettempdir())
-                    / f"repro-kernel-{source_hash[:16]}"
-                    / "_pipeline_kernel.so"
-                )
-                if not shared.exists():
-                    _compile(_SOURCE, shared)
-        _lib = _bind(ctypes.CDLL(str(shared)))
+        _lib = _bind(ctypes.CDLL(str(build_shared_library(_SOURCE))))
     except Exception as error:  # noqa: BLE001 - reason is surfaced to callers
         _load_error = f"batch kernel unavailable: {error}"
         raise RuntimeError(_load_error) from error

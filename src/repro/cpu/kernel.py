@@ -5,11 +5,14 @@ per-instruction walk in :mod:`repro.cpu.pipeline` stays the reference
 implementation; this module replaces its hot loop with a compiled C
 engine (built lazily by :mod:`repro.cpu._kernel_build`) that consumes
 the trace as structure-of-arrays :class:`~repro.cpu.stream.TraceChunk`
-blocks: per chunk, one tight pass decodes the instruction objects into
-typed arrays, hands them to the engine, and the engine runs the cycle
+blocks: the trace generators emit column-backed chunks, so per chunk the
+feed is zero-copy — the chunk's own typed arrays go straight to the
+engine (which copies them into its ring), and the engine runs the cycle
 loop — issue-slot assignment, fetch/mispredict/memory stall attribution,
 FU busy/idle-interval updates, and closed-loop wakeup-stall accounting —
-until it needs the next chunk.
+until it needs the next chunk. Legacy object-backed chunks still work:
+:meth:`TraceChunk.columns` projects them into arrays on first access,
+which is the only remaining per-instruction Python cost on that path.
 
 Exactness contract
     The kernel reproduces the walk float-for-float: every integer
@@ -50,7 +53,6 @@ from typing import Iterable, List, Optional
 import numpy as np
 
 from repro.core.sleep_control import PolicyController, RuntimeTally, build_controllers
-from repro.cpu import _kernel_build as _build
 from repro.cpu._kernel_build import (
     CLOSE_CALLBACK,
     EXPORT_LEN,
@@ -68,6 +70,7 @@ from repro.cpu.pipeline import DeadlockError
 from repro.cpu.sleep import SleepRuntimeSpec, price_stateless_outcomes
 from repro.cpu.stats import FunctionalUnitUsage, SimulationStats
 from repro.cpu.stream import TraceChunk
+from repro.util import stagetime
 from repro.util.intervals import IntervalHistogram
 
 __all__ = [
@@ -152,24 +155,18 @@ def _u8_ptr(column: array) -> "ctypes._Pointer":
     return ctypes.cast(column.buffer_info()[0], _P_U8)
 
 
-def decode_chunk(instructions) -> tuple:
-    """One :class:`TraceChunk`'s instructions as per-field typed arrays.
+def decode_chunk(chunk: TraceChunk) -> tuple:
+    """One :class:`TraceChunk` as the kernel's per-field typed arrays.
 
-    The single genuinely Python-bound cost of a batch run: seven
-    attribute-projection passes (list comprehensions straight into
-    ``array.array`` — measurably faster than ``map(attrgetter(...))``
-    on slotted instances) replace the walk's per-instruction,
-    per-stage attribute traffic.
+    For column-backed chunks (everything the columnar trace generators
+    emit) this is a zero-copy pass-through: the chunk's own arrays are
+    returned, which is safe because ``repro_feed`` copies the window
+    into its ring before returning. Object-backed chunks (hand-built
+    tests, legacy composites) pay one attribute-projection pass via
+    :meth:`~repro.cpu.stream.TraceChunk.columns` — the last remaining
+    per-instruction Python cost on the batch path.
     """
-    return (
-        array("B", [i.op for i in instructions]),
-        array("q", [i.pc for i in instructions]),
-        array("q", [i.dep1 for i in instructions]),
-        array("q", [i.dep2 for i in instructions]),
-        array("q", [i.address for i in instructions]),
-        array("B", [i.taken for i in instructions]),
-        array("q", [i.target for i in instructions]),
-    )
+    return chunk.columns
 
 
 # -- the batched pipeline -------------------------------------------------------
@@ -312,7 +309,11 @@ class BatchPipeline:
         total = self.total_instructions
         fed = 0
         status = ST_NEED_DATA
-        for chunk in self._chunks:
+        # Lazy generators do their work inside next(), which the timed
+        # iterator charges to "generate"; the feed loop's own time below
+        # lands on "decode" (projection, ~zero when column-backed) and
+        # "kernel" (the C cycle loop).
+        for chunk in stagetime.timed_iterator("generate", self._chunks):
             if chunk.start != fed:
                 raise ValueError(
                     f"non-contiguous chunk: expected start {fed}, "
@@ -323,20 +324,20 @@ class BatchPipeline:
                     f"chunk [{chunk.start}, {chunk.end}) overruns the "
                     f"declared length {total}"
                 )
-            op, pc, dep1, dep2, addr, taken, target = decode_chunk(
-                chunk.instructions
-            )
-            status = lib.repro_feed(
-                sim,
-                _u8_ptr(op),
-                _i64_ptr(pc),
-                _i64_ptr(dep1),
-                _i64_ptr(dep2),
-                _i64_ptr(addr),
-                _u8_ptr(taken),
-                _i64_ptr(target),
-                len(chunk),
-            )
+            with stagetime.timed("decode"):
+                op, pc, dep1, dep2, addr, taken, target = decode_chunk(chunk)
+            with stagetime.timed("kernel"):
+                status = lib.repro_feed(
+                    sim,
+                    _u8_ptr(op),
+                    _i64_ptr(pc),
+                    _i64_ptr(dep1),
+                    _i64_ptr(dep2),
+                    _i64_ptr(addr),
+                    _u8_ptr(taken),
+                    _i64_ptr(target),
+                    len(chunk),
+                )
             fed = chunk.end
             if status == ST_DEADLOCK:
                 self._raise_deadlock(lib, sim)
@@ -351,7 +352,8 @@ class BatchPipeline:
             )
         if lib.repro_finalize(sim) != ST_DONE:
             raise RuntimeError("batch kernel finalize failed")
-        return self._build_stats(lib, sim)
+        with stagetime.timed("pricing"):
+            return self._build_stats(lib, sim)
 
     def _raise_deadlock(self, lib, sim) -> None:
         out = (ctypes.c_int64 * EXPORT_LEN)()

@@ -19,6 +19,7 @@ which shares these cache layers through :func:`cached_result` and
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -40,6 +41,7 @@ from repro.cpu.stream import (
 from repro.cpu.workloads import WorkloadProfile, generate_trace, iter_trace
 from repro.exec import cache as result_cache
 from repro.exec.hashing import simulation_key
+from repro.util import stagetime
 
 
 @dataclass(frozen=True)
@@ -150,24 +152,36 @@ class Simulator:
                 record_sequences=record_sequences,
             )
         if resolve_streaming(self.streaming, total):
+            # Generation happens lazily inside the pipeline's pulls; the
+            # timed iterator attributes it, and the walk's own time is
+            # the remainder (subtracted below).
             trace = StreamingTrace(
-                iter_trace(
-                    self.profile,
-                    total,
-                    seed=self.seed,
-                    chunk_size=resolve_chunk_size(self.chunk_size),
+                stagetime.timed_iterator(
+                    "generate",
+                    iter_trace(
+                        self.profile,
+                        total,
+                        seed=self.seed,
+                        chunk_size=resolve_chunk_size(self.chunk_size),
+                    ),
                 ),
                 total,
             )
         else:
-            trace = generate_trace(self.profile, total, seed=self.seed)
+            with stagetime.timed("generate"):
+                trace = generate_trace(self.profile, total, seed=self.seed)
         pipeline = Pipeline(
             trace,
             config=self.config,
             record_sequences=record_sequences,
             sleep_spec=self.sleep,
         )
+        before_run = stagetime.snapshot()
+        run_start = time.perf_counter()
         stats = pipeline.run(warmup_instructions=warmup_instructions)
+        elapsed = time.perf_counter() - run_start
+        nested = sum(stagetime.delta_since(before_run).values())
+        stagetime.add("kernel", max(0.0, elapsed - nested))
         return SimulationResult(
             workload_name=self.profile.name,
             num_instructions=num_instructions,

@@ -1,4 +1,4 @@
-"""Bounded-memory trace streaming: chunks and the sliding-window view.
+"""Bounded-memory trace streaming: column-backed chunks and the window.
 
 The generator in :mod:`repro.cpu.workloads` historically materialized
 every :class:`~repro.cpu.trace.TraceInstruction` into one Python list,
@@ -16,29 +16,35 @@ streaming counterparts:
   few chunks is sufficient — and accesses behind the window raise
   rather than silently re-generating.
 
+A chunk's *native* representation is structure-of-arrays: seven
+per-field typed arrays (:data:`COLUMN_FIELDS`), which the array-batched
+C kernel (:mod:`repro.cpu.kernel`) consumes zero-copy. Instruction
+objects are a lazy view materialized on demand for the per-instruction
+walk engine, golden files, and :func:`repro.cpu.trace.trace_digest` —
+not the source of truth. Chunks built the legacy way (from an
+instruction list) project their columns lazily instead, so both
+directions interoperate.
+
 The streaming path is *observationally identical* to the materialized
-one: the same walk generator produces the same instructions in the same
-order, and the pipeline code consuming them is unchanged. That
-float-for-float equivalence is enforced by ``tests/test_streaming.py``
-(the CI gate) and is what licenses streaming's absence from simulation
-cache keys.
+one: the same walk produces the same instructions in the same order,
+and the pipeline code consuming them is unchanged. That float-for-float
+equivalence is enforced by ``tests/test_streaming.py`` (the CI gate)
+and is what licenses streaming's absence from simulation cache keys;
+``tests/test_columnar.py`` enforces the stronger digest-identity of the
+columnar and object walks.
 
 Process-wide defaults (set by the CLI's ``--streaming``/``--chunk-size``
 flags) live here so the simulator facade and the execution engine share
 one source of truth without import cycles.
-
-:class:`TraceChunk` is also the delivery unit of the array-batched C
-kernel (:mod:`repro.cpu.kernel`), which consumes the same chunk streams
-structure-of-arrays instead of through a sliding window — same blocks,
-same contiguity contract, two engines.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Iterable, Iterator, List, Optional, Sequence, overload
+from typing import Deque, Iterable, Iterator, List, Optional, Sequence, Tuple, overload
 
+from repro.cpu.isa import OpClass
 from repro.cpu.trace import TraceInstruction
 
 #: Instructions per chunk. Large enough that per-chunk Python overhead
@@ -62,30 +68,175 @@ RETAIN_CHUNKS = 3
 MIN_CHUNK_SIZE = 64
 
 
-@dataclass(frozen=True)
+#: The per-field columns of a chunk, in canonical order — the order the
+#: C kernel's ``repro_feed`` takes them.
+COLUMN_FIELDS = ("op", "pc", "dep1", "dep2", "address", "taken", "target")
+
+#: ``array.array`` typecodes per column: one unsigned byte for the op
+#: class and the taken flag, a signed 64-bit integer for everything
+#: else. These match the C kernel ABI (``uint8_t*`` / ``int64_t*``), so
+#: column-backed chunks feed it without conversion.
+COLUMN_TYPECODES = ("B", "q", "q", "q", "q", "B", "q")
+
+#: OpClass values are contiguous from 0 in definition order, so the
+#: enum member for a stored op byte is a tuple index away.
+_OP_BY_VALUE = tuple(OpClass)
+
+#: Column tuple: (op, pc, dep1, dep2, address, taken, target) arrays.
+Columns = Tuple[array, array, array, array, array, array, array]
+
+
 class TraceChunk:
     """A contiguous block of a committed-path trace.
 
-    ``start`` is the trace index of ``instructions[0]``; consecutive
-    chunks from one stream are contiguous and non-overlapping.
+    ``start`` is the trace index of the chunk's first instruction;
+    consecutive chunks from one stream are contiguous and
+    non-overlapping.
+
+    A chunk holds one of two representations and derives the other
+    lazily:
+
+    * **column-backed** (:meth:`from_columns`, the native form emitted
+      by the columnar walk): seven typed arrays in
+      :data:`COLUMN_FIELDS` order. :attr:`instructions` materializes
+      equal ``TraceInstruction`` objects on first access — same ops
+      (as :class:`~repro.cpu.isa.OpClass`), same ints, same bools — so
+      digests, goldens, and the walk engine see an identical trace.
+    * **object-backed** (``TraceChunk(start, instructions)``, the
+      legacy form): a ``TraceInstruction`` list. :attr:`columns`
+      projects the typed arrays on first access.
+
+    Both derivations are cached on the chunk; neither mutates the
+    source representation. Digest-identity between the two directions
+    is a CI gate (``tests/test_columnar.py``).
     """
 
-    start: int
-    instructions: List[TraceInstruction] = field(repr=False)
+    __slots__ = ("start", "_instructions", "_columns", "_columnar")
 
-    def __post_init__(self) -> None:
-        if self.start < 0:
-            raise ValueError(f"chunk start must be >= 0, got {self.start}")
-        if not self.instructions:
+    def __init__(
+        self,
+        start: int,
+        instructions: Optional[List[TraceInstruction]] = None,
+    ):
+        if start < 0:
+            raise ValueError(f"chunk start must be >= 0, got {start}")
+        if instructions is None:
+            raise ValueError(
+                "provide an instruction list, or build column-backed "
+                "chunks with TraceChunk.from_columns"
+            )
+        if not instructions:
             raise ValueError("a trace chunk cannot be empty")
+        self.start = start
+        self._instructions: Optional[List[TraceInstruction]] = instructions
+        self._columns: Optional[Columns] = None
+        self._columnar = False
+
+    @classmethod
+    def from_columns(cls, start: int, columns: Columns) -> "TraceChunk":
+        """Build a column-backed chunk from seven typed arrays.
+
+        ``columns`` must follow :data:`COLUMN_FIELDS` order with
+        :data:`COLUMN_TYPECODES` typecodes and equal, non-zero lengths.
+        The arrays are adopted, not copied — callers hand over
+        ownership.
+        """
+        if start < 0:
+            raise ValueError(f"chunk start must be >= 0, got {start}")
+        columns = tuple(columns)
+        if len(columns) != len(COLUMN_FIELDS):
+            raise ValueError(
+                f"expected {len(COLUMN_FIELDS)} columns "
+                f"({', '.join(COLUMN_FIELDS)}), got {len(columns)}"
+            )
+        length = len(columns[0])
+        if length == 0:
+            raise ValueError("a trace chunk cannot be empty")
+        for name, typecode, column in zip(
+            COLUMN_FIELDS, COLUMN_TYPECODES, columns
+        ):
+            if getattr(column, "typecode", None) != typecode:
+                raise ValueError(
+                    f"column {name!r} must be an array.array({typecode!r}), "
+                    f"got {type(column).__name__}"
+                    + (
+                        f"({column.typecode!r})"
+                        if isinstance(column, array)
+                        else ""
+                    )
+                )
+            if len(column) != length:
+                raise ValueError(
+                    f"ragged columns: {name!r} has {len(column)} entries, "
+                    f"expected {length}"
+                )
+        chunk = cls.__new__(cls)
+        chunk.start = start
+        chunk._instructions = None
+        chunk._columns = columns
+        chunk._columnar = True
+        return chunk
 
     def __len__(self) -> int:
-        return len(self.instructions)
+        if self._columns is not None:
+            return len(self._columns[0])
+        return len(self._instructions)
+
+    def __repr__(self) -> str:
+        backing = "columnar" if self._columnar else "objects"
+        return (
+            f"TraceChunk(start={self.start}, len={len(self)}, {backing})"
+        )
 
     @property
     def end(self) -> int:
         """One past the trace index of the last instruction."""
-        return self.start + len(self.instructions)
+        return self.start + len(self)
+
+    @property
+    def is_columnar(self) -> bool:
+        """True iff this chunk was built column-first (the fast path).
+
+        Object-backed chunks that have since projected columns still
+        report False: the flag records provenance, which is what the
+        "fast path actually ran" CI guard needs.
+        """
+        return self._columnar
+
+    @property
+    def instructions(self) -> List[TraceInstruction]:
+        """The chunk as instruction objects (materialized on demand)."""
+        instructions = self._instructions
+        if instructions is None:
+            op, pc, dep1, dep2, address, taken, target = self._columns
+            ops = _OP_BY_VALUE
+            instructions = [
+                TraceInstruction(
+                    ops[row[0]], row[1], row[2], row[3], row[4],
+                    bool(row[5]), row[6],
+                )
+                for row in zip(op, pc, dep1, dep2, address, taken, target)
+            ]
+            self._instructions = instructions
+        return instructions
+
+    @property
+    def columns(self) -> Columns:
+        """The chunk as typed-array columns (projected on demand)."""
+        columns = self._columns
+        if columns is None:
+            instructions = self._instructions
+            columns = (
+                array("B", [i.op for i in instructions]),
+                array("q", [i.pc for i in instructions]),
+                array("q", [i.dep1 for i in instructions]),
+                array("q", [i.dep2 for i in instructions]),
+                array("q", [i.address for i in instructions]),
+                array("B", [1 if i.taken else 0 for i in instructions]),
+                array("q", [i.target for i in instructions]),
+            )
+            self._columns = columns
+        return columns
 
 
 def check_chunk_size(chunk_size: int) -> int:
@@ -117,6 +268,37 @@ def chunk_instructions(
             buffer = []
     if buffer:
         yield TraceChunk(start, buffer)
+
+
+def columns_chunk(
+    start: int,
+    op: Sequence[int],
+    pc: Sequence[int],
+    dep1: Sequence[int],
+    dep2: Sequence[int],
+    address: Sequence[int],
+    taken: Sequence[int],
+    target: Sequence[int],
+) -> TraceChunk:
+    """Freeze parallel row buffers into a column-backed chunk.
+
+    The columnar generators accumulate rows in plain lists (the cheapest
+    thing to append to from a Python loop) and call this at chunk
+    boundaries to convert one chunk's worth into typed arrays. Buffers
+    may be any int sequences; callers pass pre-sliced views.
+    """
+    return TraceChunk.from_columns(
+        start,
+        (
+            array("B", op),
+            array("q", pc),
+            array("q", dep1),
+            array("q", dep2),
+            array("q", address),
+            array("B", taken),
+            array("q", target),
+        ),
+    )
 
 
 class StreamingTrace(Sequence):

@@ -19,11 +19,20 @@ dataflow and locality models.
 
 from __future__ import annotations
 
+import os
+from array import array
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
+from repro.cpu import _trace_build
 from repro.cpu.isa import OpClass
-from repro.cpu.stream import DEFAULT_CHUNK_SIZE, TraceChunk, chunk_instructions
+from repro.cpu.stream import (
+    DEFAULT_CHUNK_SIZE,
+    TraceChunk,
+    check_chunk_size,
+    chunk_instructions,
+    columns_chunk,
+)
 from repro.cpu.trace import TraceInstruction
 from repro.util.lookup import unknown_name_message
 from repro.util.rng import DeterministicRng
@@ -171,11 +180,19 @@ _TERM_BRANCH = 0
 _TERM_CALL = 1
 _TERM_RETURN = 2
 
+# Control-op values as plain ints for the columnar drain's row appends.
+_OP_BRANCH = int(OpClass.BRANCH)
+_OP_CALL = int(OpClass.CALL)
+_OP_RETURN = int(OpClass.RETURN)
+
 
 class _Block:
     """A basic block of the static program."""
 
-    __slots__ = ("start_pc", "body", "terminator", "term_pc", "branch")
+    __slots__ = (
+        "start_pc", "body", "terminator", "term_pc", "branch",
+        "col_ops", "col_pcs", "col_kinds", "col_zeros",
+    )
 
     def __init__(self, start_pc: int, body: List[OpClass], terminator: int):
         self.start_pc = start_pc
@@ -183,6 +200,18 @@ class _Block:
         self.terminator = terminator
         self.term_pc = start_pc + 4 * len(body)
         self.branch: Optional[_StaticBranch] = None
+        # Static per-block columns, precomputed once so the columnar
+        # drain bulk-extends its buffers instead of recomputing op
+        # values and PCs on every dynamic visit. kinds: 1 = load,
+        # 2 = store, 0 = everything else (what the address/chain logic
+        # dispatches on).
+        self.col_ops = [int(op) for op in body]
+        self.col_pcs = [start_pc + 4 * i for i in range(len(body))]
+        self.col_kinds = [
+            1 if op is OpClass.LOAD else 2 if op is OpClass.STORE else 0
+            for op in body
+        ]
+        self.col_zeros = [0] * len(body)
 
 
 class _StaticBranch:
@@ -421,10 +450,12 @@ def _walk_trace(
 ) -> Iterator[TraceInstruction]:
     """The dynamic CFG walk, one instruction at a time.
 
-    This is the single source of the instruction stream: both the
-    materialized API (:func:`generate_trace`) and the chunked iterator
-    (:func:`iter_trace`) drain this generator, so the two paths cannot
-    diverge — same RNG draw order, same instructions, byte for byte.
+    The *executable reference* for the instruction stream: readable,
+    one draw shape per helper, one yield per instruction. The
+    production paths (:func:`generate_trace`, :func:`iter_trace`) drain
+    :func:`_walk_trace_columns` instead — the same walk inlined into a
+    columnar drain — and the digest-identity gate in
+    ``tests/test_columnar.py`` pins the two together draw for draw.
     """
     structure_rng = DeterministicRng(seed).child(profile.name, "structure")
     walk_rng = DeterministicRng(seed).child(profile.name, "walk")
@@ -535,6 +566,469 @@ def _walk_trace(
             current = next_block
 
 
+def _trace_kernel_usable(profile: WorkloadProfile) -> bool:
+    """Should this walk run on the compiled trace walker?
+
+    ``REPRO_TRACE_ENGINE=python`` forces the pure-Python drain (how the
+    equivalence tests compare the two engines). Otherwise the C walker
+    is used whenever it builds and the profile fits its fixed-width
+    assumptions: randbelow spans inside 32 bits, 4-byte ``array``
+    int/uint codes on this platform, and a non-degenerate stream modulus
+    wherever stream accesses can occur (a zero modulus must keep raising
+    in Python, not fault in C).
+    """
+    if os.environ.get("REPRO_TRACE_ENGINE", "").strip().lower() == "python":
+        return False
+    if array("i").itemsize != 4 or array("I").itemsize != 4:
+        return False
+    limit = 2**32 - 1
+    spans = (
+        max(8, profile.stack_bytes) - 8,
+        max(8, profile.heap_hot_bytes) - 8,
+        max(8, profile.heap_bytes) - 8,
+    )
+    if any(span >= limit for span in spans):
+        return False
+    if profile.num_blocks >= 2**31:
+        return False
+    if (
+        profile.stream_prob > 0.0
+        and max(profile.stream_stride, profile.stream_bytes) < 1
+    ):
+        return False
+    return _trace_build.trace_kernel_available()
+
+
+def _drain_walk_c(
+    program: _StaticProgram,
+    profile: WorkloadProfile,
+    walk_rng: DeterministicRng,
+    data_rng: DeterministicRng,
+    num_instructions: int,
+    chunk_size: int,
+) -> Iterator[TraceChunk]:
+    """Drain the dynamic walk through the compiled trace walker.
+
+    Packs the static program into flat tables, transplants the walk and
+    data generators' MT19937 states (``Random.getstate()`` — the C side
+    has no seeding logic to diverge), and pulls column-backed chunks
+    straight out of C buffers. Emits exactly the chunks the Python
+    drain would.
+    """
+    lib = _trace_build.trace_library()
+    blocks = program.blocks
+    nblocks = len(blocks)
+
+    start_pc = array("q", [b.start_pc for b in blocks])
+    term_pc = array("q", [b.term_pc for b in blocks])
+    terminator = array("B", [b.terminator for b in blocks])
+    call_target = array(
+        "i",
+        [
+            program.call_targets[i] if i < len(program.call_targets) else 0
+            for i in range(nblocks)
+        ],
+    )
+
+    body_off_list: List[int] = []
+    body_len_list: List[int] = []
+    body_ops_list: List[int] = []
+    for block in blocks:
+        body_off_list.append(len(body_ops_list))
+        body_len_list.append(len(block.col_ops))
+        body_ops_list += block.col_ops
+    body_off = array("i", body_off_list)
+    body_len = array("i", body_len_list)
+    body_ops = array("B", body_ops_list)
+
+    is_loop: List[int] = []
+    trip_mean: List[float] = []
+    fixed: List[int] = []
+    taken_prob: List[float] = []
+    target0: List[int] = []
+    has_ind: List[int] = []
+    indirect: List[int] = []
+    for block in blocks:
+        branch = block.branch
+        if branch is None:
+            is_loop.append(0)
+            trip_mean.append(1.0)
+            fixed.append(0)
+            taken_prob.append(0.0)
+            target0.append(0)
+            has_ind.append(0)
+            indirect += [0] * _trace_build.INDIRECT_TARGETS
+            continue
+        is_loop.append(1 if branch.is_loop else 0)
+        trip_mean.append(branch.trip_mean)
+        fixed.append(branch.fixed_trips)
+        taken_prob.append(branch.taken_prob)
+        target0.append(branch.target_block)
+        if branch.indirect_targets is not None:
+            has_ind.append(1)
+            indirect += list(branch.indirect_targets)
+        else:
+            has_ind.append(0)
+            indirect += [0] * _trace_build.INDIRECT_TARGETS
+
+    cfg_f = array("d", [
+        profile.first_source_prob,
+        profile.second_source_prob,
+        profile.mean_dep_distance,
+        profile.load_chain_prob,
+        profile.stack_prob,
+        profile.stack_prob + profile.stream_prob,
+        profile.heap_hot_prob,
+    ])
+    cfg_i = array("q", [
+        num_instructions,
+        profile.num_blocks,
+        max(8, profile.stack_bytes) - 8,
+        max(8, profile.heap_hot_bytes) - 8,
+        max(8, profile.heap_bytes) - 8,
+        profile.stream_stride,
+        max(profile.stream_stride, profile.stream_bytes),
+        _STACK_BASE,
+        _STREAM_BASE,
+        _HEAP_BASE,
+    ])
+
+    # The raw generator states: 624 words + the cursor, per stream.
+    mt_walk = array("I", walk_rng._random.getstate()[1])
+    mt_data = array("I", data_rng._random.getstate()[1])
+
+    # Freeze the branch tables into typed arrays bound to locals: the
+    # pointer casts do NOT keep their source buffers alive, so every
+    # array must outlive the create call.
+    br_is_loop = array("B", is_loop)
+    br_trip_mean = array("d", trip_mean)
+    br_fixed = array("q", fixed)
+    br_taken_prob = array("d", taken_prob)
+    br_target = array("i", target0)
+    br_indirect = array("i", indirect)
+    br_has_ind = array("B", has_ind)
+
+    f64, i64, i32, u8, u32 = (
+        _trace_build.f64_ptr,
+        _trace_build.i64_ptr,
+        _trace_build.i32_ptr,
+        _trace_build.u8_ptr,
+        _trace_build.u32_ptr,
+    )
+    handle = lib.repro_trace_create(
+        f64(cfg_f), i64(cfg_i), u32(mt_walk), u32(mt_data),
+        nblocks, i64(start_pc), i64(term_pc),
+        u8(terminator), i32(call_target),
+        i32(body_off), i32(body_len), u8(body_ops), len(body_ops),
+        u8(br_is_loop), f64(br_trip_mean),
+        i64(br_fixed), f64(br_taken_prob),
+        i32(br_target), i32(br_indirect),
+        u8(br_has_ind),
+    )
+    if not handle:
+        raise MemoryError("trace kernel allocation failed")
+    try:
+        emitted = 0
+        while True:
+            op = array("B", bytes(chunk_size))
+            pc = array("q", bytes(8 * chunk_size))
+            dep1 = array("q", bytes(8 * chunk_size))
+            dep2 = array("q", bytes(8 * chunk_size))
+            address = array("q", bytes(8 * chunk_size))
+            taken = array("B", bytes(chunk_size))
+            target = array("q", bytes(8 * chunk_size))
+            rows = lib.repro_trace_fill(
+                handle, chunk_size, u8(op), i64(pc), i64(dep1), i64(dep2),
+                i64(address), u8(taken), i64(target),
+            )
+            if rows < 0:
+                raise MemoryError("trace kernel ran out of memory")
+            if rows == 0:
+                break
+            if rows < chunk_size:
+                op = op[:rows]
+                pc = pc[:rows]
+                dep1 = dep1[:rows]
+                dep2 = dep2[:rows]
+                address = address[:rows]
+                taken = taken[:rows]
+                target = target[:rows]
+            yield TraceChunk.from_columns(
+                emitted, (op, pc, dep1, dep2, address, taken, target)
+            )
+            emitted += rows
+            if rows < chunk_size:
+                break
+    finally:
+        lib.repro_trace_destroy(handle)
+
+
+def _walk_trace_columns(
+    profile: WorkloadProfile,
+    num_instructions: int,
+    seed: int,
+    chunk_size: int,
+) -> Iterator[TraceChunk]:
+    """The same CFG walk as :func:`_walk_trace`, drained into columns.
+
+    This is the cold-path hot loop of the whole system, so it trades
+    readability for speed: the RNG draw shapes (``chance``,
+    ``geometric``, the dependency draw, the address model) are inlined
+    onto bound ``random.Random`` methods, static per-block columns are
+    bulk-extended, and rows accumulate in plain lists frozen into typed
+    arrays only at chunk boundaries.
+
+    LOCKSTEP CONTRACT: every RNG draw here must mirror
+    :func:`_walk_trace` exactly — same stream, same order, same count,
+    including the no-draw shortcuts (``geometric(1.0)``, the
+    load-chain short-circuit when no load has retired yet, fixed-trip
+    loops). The two walks must stay digest-identical, not merely
+    float-equal; ``tests/test_columnar.py`` and the property suite
+    enforce it, and :func:`_walk_trace` stays as the executable
+    reference. Any behavior change lands in both or neither.
+    """
+    structure_rng = DeterministicRng(seed).child(profile.name, "structure")
+    walk_rng = DeterministicRng(seed).child(profile.name, "walk")
+    data_rng = DeterministicRng(seed).child(profile.name, "data")
+
+    program = _StaticProgram(profile, structure_rng)
+
+    # The compiled walker (bit-exact CPython-random replay, see
+    # _trace_kernel.c) drains 1-2 orders of magnitude faster; the Python
+    # drain below is its always-available twin. Same chunks either way.
+    if _trace_kernel_usable(profile):
+        yield from _drain_walk_c(
+            program, profile, walk_rng, data_rng, num_instructions,
+            chunk_size,
+        )
+        return
+
+    blocks = program.blocks
+    call_targets = program.call_targets
+
+    # Bound RNG entry points (one attribute lookup instead of three per
+    # draw) and hoisted profile constants.
+    data_random = data_rng._random.random
+    data_randint = data_rng._random.randint
+    first_prob = profile.first_source_prob
+    second_prob = profile.second_source_prob
+    mean_dep = profile.mean_dep_distance
+    dep_is_unit = mean_dep == 1.0
+    dep_success = 0.0 if dep_is_unit else 1.0 / mean_dep
+    chain_prob = profile.load_chain_prob
+    stack_prob = profile.stack_prob
+    stack_or_stream = stack_prob + profile.stream_prob
+    hot_prob = profile.heap_hot_prob
+    stack_span = max(8, profile.stack_bytes) - 8
+    hot_span = max(8, profile.heap_hot_bytes) - 8
+    heap_span = max(8, profile.heap_bytes) - 8
+    stride = profile.stream_stride
+    stream_mod = max(stride, profile.stream_bytes)
+    main_blocks = profile.num_blocks
+
+    def draw_dep(pos: int) -> int:
+        # Mirrors _walk_trace's draw_dep: chance(first_source_prob),
+        # then geometric(mean_dep_distance) capped to the trace prefix.
+        if data_random() >= first_prob:
+            return 0
+        if dep_is_unit:
+            return 1 if pos >= 1 else pos
+        distance = 1
+        while not data_random() < dep_success:
+            distance += 1
+            if distance > 10_000_000:
+                break
+        return distance if distance < pos else pos
+
+    op_buf: List[int] = []
+    pc_buf: List[int] = []
+    dep1_buf: List[int] = []
+    dep2_buf: List[int] = []
+    addr_buf: List[int] = []
+    taken_buf: List[int] = []
+    target_buf: List[int] = []
+    dep1_append = dep1_buf.append
+    dep2_append = dep2_buf.append
+    addr_append = addr_buf.append
+    emitted = 0
+
+    position = 0
+    current = 0
+    call_stack: List[int] = []
+    last_load_index = -1
+    stream_offset = 0
+
+    while position < num_instructions:
+        block = blocks[current]
+        body_len = len(block.col_ops)
+        take = body_len
+        if position + take > num_instructions:
+            take = num_instructions - position
+        if take == body_len:
+            op_buf += block.col_ops
+            pc_buf += block.col_pcs
+            zeros = block.col_zeros
+            kinds = block.col_kinds
+        else:
+            op_buf += block.col_ops[:take]
+            pc_buf += block.col_pcs[:take]
+            zeros = block.col_zeros[:take]
+            kinds = block.col_kinds[:take]
+        taken_buf += zeros
+        target_buf += zeros
+        for kind in kinds:
+            # dep1 = draw_dep(position), inlined.
+            if data_random() < first_prob:
+                if dep_is_unit:
+                    dep1 = 1 if position >= 1 else position
+                else:
+                    distance = 1
+                    while not data_random() < dep_success:
+                        distance += 1
+                        if distance > 10_000_000:
+                            break
+                    dep1 = distance if distance < position else position
+            else:
+                dep1 = 0
+            # dep2 = draw_dep(position) if chance(second_source_prob).
+            if data_random() < second_prob:
+                if data_random() < first_prob:
+                    if dep_is_unit:
+                        dep2 = 1 if position >= 1 else position
+                    else:
+                        distance = 1
+                        while not data_random() < dep_success:
+                            distance += 1
+                            if distance > 10_000_000:
+                                break
+                        dep2 = distance if distance < position else position
+                else:
+                    dep2 = 0
+            else:
+                dep2 = 0
+            if kind:
+                # _AddressGenerator.next_address, inlined: one uniform
+                # roll picks the locality class, then stack/heap draw a
+                # doubleword-aligned offset; streams advance statefully
+                # with no draw.
+                roll = data_random()
+                if roll < stack_prob:
+                    address = _STACK_BASE + (data_randint(0, stack_span) & ~7)
+                elif roll < stack_or_stream:
+                    address = _STREAM_BASE + stream_offset
+                    stream_offset = (stream_offset + stride) % stream_mod
+                elif data_random() < hot_prob:
+                    address = _HEAP_BASE + (data_randint(0, hot_span) & ~7)
+                else:
+                    address = _HEAP_BASE + (data_randint(0, heap_span) & ~7)
+                if kind == 1:
+                    if last_load_index >= 0 and data_random() < chain_prob:
+                        dep1 = position - last_load_index
+                    last_load_index = position
+            else:
+                address = 0
+            dep1_append(dep1)
+            dep2_append(dep2)
+            addr_append(address)
+            position += 1
+
+        if position >= num_instructions:
+            break
+
+        # Terminator (one row appended to every buffer).
+        terminator = block.terminator
+        if terminator == _TERM_CALL:
+            target_entry = call_targets[current]
+            op_buf.append(_OP_CALL)
+            pc_buf.append(block.term_pc)
+            dep1_append(draw_dep(position))
+            dep2_append(0)
+            addr_append(0)
+            taken_buf.append(1)
+            target_buf.append(blocks[target_entry].start_pc)
+            position += 1
+            call_stack.append((current + 1) % main_blocks)
+            current = target_entry
+        elif terminator == _TERM_RETURN:
+            if call_stack:
+                return_block = call_stack.pop()
+            else:
+                return_block = walk_rng.randint(0, main_blocks - 1)
+            op_buf.append(_OP_RETURN)
+            pc_buf.append(block.term_pc)
+            dep1_append(0)
+            dep2_append(0)
+            addr_append(0)
+            taken_buf.append(1)
+            target_buf.append(blocks[return_block].start_pc)
+            position += 1
+            current = return_block
+        else:
+            branch = block.branch
+            taken = branch.next_outcome(walk_rng)
+            if branch.indirect_targets is not None and taken:
+                branch.target_block = branch.indirect_targets[
+                    walk_rng.randint(0, len(branch.indirect_targets) - 1)
+                ]
+            if taken:
+                next_block = branch.target_block
+            else:
+                limit = main_blocks if current < main_blocks else len(blocks)
+                next_block = current + 1
+                if next_block >= limit:
+                    next_block = 0 if current < main_blocks else current
+            op_buf.append(_OP_BRANCH)
+            pc_buf.append(block.term_pc)
+            dep1_append(draw_dep(position))
+            dep2_append(0)
+            addr_append(0)
+            taken_buf.append(1 if taken else 0)
+            target_buf.append(blocks[branch.target_block].start_pc)
+            position += 1
+            current = next_block
+
+        while len(op_buf) >= chunk_size:
+            yield columns_chunk(
+                emitted,
+                op_buf[:chunk_size], pc_buf[:chunk_size],
+                dep1_buf[:chunk_size], dep2_buf[:chunk_size],
+                addr_buf[:chunk_size], taken_buf[:chunk_size],
+                target_buf[:chunk_size],
+            )
+            del op_buf[:chunk_size]
+            del pc_buf[:chunk_size]
+            del dep1_buf[:chunk_size]
+            del dep2_buf[:chunk_size]
+            del addr_buf[:chunk_size]
+            del taken_buf[:chunk_size]
+            del target_buf[:chunk_size]
+            emitted += chunk_size
+
+    # Final flush: the truncation paths above can leave more than one
+    # chunk's worth buffered, so keep boundaries exact here too.
+    while len(op_buf) >= chunk_size:
+        yield columns_chunk(
+            emitted,
+            op_buf[:chunk_size], pc_buf[:chunk_size],
+            dep1_buf[:chunk_size], dep2_buf[:chunk_size],
+            addr_buf[:chunk_size], taken_buf[:chunk_size],
+            target_buf[:chunk_size],
+        )
+        del op_buf[:chunk_size]
+        del pc_buf[:chunk_size]
+        del dep1_buf[:chunk_size]
+        del dep2_buf[:chunk_size]
+        del addr_buf[:chunk_size]
+        del taken_buf[:chunk_size]
+        del target_buf[:chunk_size]
+        emitted += chunk_size
+    if op_buf:
+        yield columns_chunk(
+            emitted, op_buf, pc_buf, dep1_buf, dep2_buf,
+            addr_buf, taken_buf, target_buf,
+        )
+
+
 def iter_trace(
     profile: WorkloadProfile,
     num_instructions: int,
@@ -551,7 +1045,11 @@ def iter_trace(
     for every (profile, num_instructions, seed); chunking only decides
     where the block boundaries fall.
 
-    Composite workloads provide an
+    Plain profiles drain the columnar walk
+    (:func:`_walk_trace_columns`), so every chunk is column-backed and
+    the batch kernel consumes it zero-copy; the per-instruction object
+    view materializes lazily where a consumer asks for it. Composite
+    workloads provide an
     ``iter_trace_chunks(num_instructions, seed, chunk_size)`` hook
     (e.g. :meth:`repro.scenarios.phased.PhasedProfile.iter_trace_chunks`,
     which streams its member sources); profiles with only the legacy
@@ -568,8 +1066,8 @@ def iter_trace(
     build = getattr(profile, "build_trace", None)
     if build is not None:
         return chunk_instructions(build(num_instructions, seed), chunk_size)
-    return chunk_instructions(
-        _walk_trace(profile, num_instructions, seed), chunk_size
+    return _walk_trace_columns(
+        profile, num_instructions, seed, check_chunk_size(chunk_size)
     )
 
 
@@ -597,7 +1095,15 @@ def generate_trace(
     build = getattr(profile, "build_trace", None)
     if build is not None:
         return build(num_instructions, seed)
-    return list(_walk_trace(profile, num_instructions, seed))
+    # Drain the columnar walk and materialize: even paying the object
+    # view, this beats the per-instruction reference walk, and it keeps
+    # one generator as the single source for both APIs.
+    trace: List[TraceInstruction] = []
+    for chunk in _walk_trace_columns(
+        profile, num_instructions, seed, DEFAULT_CHUNK_SIZE
+    ):
+        trace += chunk.instructions
+    return trace
 
 
 # -- benchmark definitions (Table 3) -------------------------------------------

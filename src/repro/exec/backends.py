@@ -101,9 +101,21 @@ class ExecutionBackend(Protocol):
         ...
 
 
-def _execute_job(job: SimulationJob) -> SimulationResult:
-    """Worker-process entry point: simulate, no cache access."""
-    return job.run()
+def _execute_job_timed(job: SimulationJob):
+    """Worker-process entry point: simulate (no cache access) and ship
+    the job's stage-time delta.
+
+    Pool workers accrue generate/decode/kernel/pricing wall time in
+    their own process; returning the per-job delta alongside the result
+    lets the submitting process absorb it, so the ``--verbose`` stage
+    report covers pooled runs too. (Workers are reused across jobs,
+    hence delta, not totals.)
+    """
+    from repro.util import stagetime
+
+    before = stagetime.snapshot()
+    result = job.run()
+    return result, stagetime.delta_since(before)
 
 
 class SerialBackend:
@@ -151,11 +163,16 @@ class ProcessPoolBackend:
             for index, job in enumerate(jobs):
                 yield index, job.run()
             return
+        from repro.util import stagetime
+
         max_workers = min(workers, len(jobs))
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             # Executor.map preserves submission order, so indices line
             # up with ``jobs`` regardless of completion order.
-            for index, result in enumerate(pool.map(_execute_job, jobs)):
+            for index, (result, stages) in enumerate(
+                pool.map(_execute_job_timed, jobs)
+            ):
+                stagetime.absorb(stages)
                 yield index, result
 
     def workers_for(self, pending: int) -> int:

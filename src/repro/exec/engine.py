@@ -37,6 +37,7 @@ from repro.exec.backends import (
     set_default_backend,
 )
 from repro.exec.jobs import SimulationJob
+from repro.util import stagetime
 
 __all__ = [
     "ENV_JOBS",
@@ -110,6 +111,13 @@ class BatchReport:
     #: Which backend ran the pending jobs ("" for an all-warm batch —
     #: no backend was consulted at all).
     backend: str = ""
+    #: Per-stage wall time (generate/decode/kernel/pricing seconds)
+    #: accrued while this batch executed — the simulation stages of
+    #: :mod:`repro.util.stagetime`. Serial and inline-pool runs measure
+    #: directly; pool workers return their deltas with each result; SSH
+    #: workers do not relay timings over the wire, so remote stage time
+    #: is absent there. Observability only: never results or cache keys.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
 
 def _stamp_defaults(job: SimulationJob) -> SimulationJob:
@@ -134,14 +142,18 @@ def _record_telemetry(report: BatchReport) -> None:
     for name_ in _COUNTER_FIELDS:
         setattr(tally, name_, getattr(tally, name_) + getattr(report, name_))
     tally.workers_used = max(tally.workers_used, report.workers_used)
+    stagetime.absorb_into(tally.stage_seconds, report.stage_seconds)
+
+
+def _copy_report(tally: BatchReport) -> BatchReport:
+    values = {f.name: getattr(tally, f.name) for f in fields(BatchReport)}
+    values["stage_seconds"] = dict(tally.stage_seconds)
+    return BatchReport(**values)
 
 
 def telemetry() -> Dict[str, BatchReport]:
     """A copy of the process-wide per-backend counters."""
-    return {
-        name: BatchReport(**{f.name: getattr(tally, f.name) for f in fields(BatchReport)})
-        for name, tally in _TELEMETRY.items()
-    }
+    return {name: _copy_report(tally) for name, tally in _TELEMETRY.items()}
 
 
 def reset_telemetry() -> None:
@@ -150,13 +162,24 @@ def reset_telemetry() -> None:
 
 
 def telemetry_lines() -> List[str]:
-    """The ``--verbose`` per-backend counter lines, sorted by backend."""
-    return [
-        f"[repro] backend {name}: submitted={t.submitted} unique={t.unique} "
-        f"hits={t.cache_hits} misses={t.cache_misses} executed={t.executed} "
-        f"failed={t.failed} workers={t.workers_used}"
-        for name, t in sorted(_TELEMETRY.items())
-    ]
+    """The ``--verbose`` per-backend counter lines, sorted by backend.
+
+    Backends that accrued simulation stage time get a second line with
+    the generate/decode/kernel/pricing wall-time split.
+    """
+    lines: List[str] = []
+    for name, t in sorted(_TELEMETRY.items()):
+        lines.append(
+            f"[repro] backend {name}: submitted={t.submitted} unique={t.unique} "
+            f"hits={t.cache_hits} misses={t.cache_misses} executed={t.executed} "
+            f"failed={t.failed} workers={t.workers_used}"
+        )
+        if t.stage_seconds:
+            lines.append(
+                f"[repro] stages {name}: "
+                f"{stagetime.format_stages(t.stage_seconds)}"
+            )
+    return lines
 
 
 # -- batch execution -----------------------------------------------------------
@@ -224,6 +247,7 @@ def run_jobs(
     workers_used = 1
     executed = 0
     failed = 0
+    stages_before = stagetime.snapshot()
     try:
         if state.pending:
             workers_used = backend_obj.workers_for(len(state.pending))
@@ -247,6 +271,7 @@ def run_jobs(
             failed=failed,
             workers_used=workers_used,
             backend=backend_obj.name if state.pending else "",
+            stage_seconds=stagetime.delta_since(stages_before),
         )
         _record_telemetry(batch)
         if report is not None:

@@ -23,10 +23,19 @@ disjoint from every member's own.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
-from repro.cpu.stream import DEFAULT_CHUNK_SIZE, TraceChunk, chunk_instructions
+import numpy as np
+
+from repro.cpu.stream import (
+    COLUMN_TYPECODES,
+    DEFAULT_CHUNK_SIZE,
+    Columns,
+    TraceChunk,
+    check_chunk_size,
+)
 from repro.cpu.trace import TraceInstruction
 from repro.cpu.workloads import WorkloadProfile, iter_trace
 
@@ -114,14 +123,94 @@ class PhasedProfile:
             index += 1
         return schedule
 
+    def _member_columns(
+        self, index: int, contribution: int, seed: int, chunk_size: int
+    ) -> Iterator[Columns]:
+        """Member ``index``'s continuous columnar stream, relocated.
+
+        Generated lazily through :func:`~repro.cpu.workloads.iter_trace`
+        (which hands back column-backed chunks) so at most one chunk of
+        each member's source exists at a time. The per-member PC offset
+        is applied as a vectorized shift over the ``pc`` and ``target``
+        columns — ``target`` keeps 0 as its "no target" sentinel, so
+        only non-zero entries move.
+        """
+        offset = index * MEMBER_PC_STRIDE
+        for chunk in iter_trace(
+            self.members[index], contribution, seed=seed, chunk_size=chunk_size
+        ):
+            op, pc, dep1, dep2, address, taken, target = chunk.columns
+            if offset:
+                pc_np = np.frombuffer(pc, dtype=np.int64) + offset
+                tg_np = np.frombuffer(target, dtype=np.int64)
+                tg_np = np.where(tg_np != 0, tg_np + offset, 0)
+                pc = array("q")
+                pc.frombytes(pc_np.tobytes())
+                target = array("q")
+                target.frombytes(np.ascontiguousarray(tg_np).tobytes())
+            yield (op, pc, dep1, dep2, address, taken, target)
+
+    def _interleave_columns(
+        self, num_instructions: int, seed: int, chunk_size: int
+    ) -> Iterator[TraceChunk]:
+        """The composite stream as column-backed chunks.
+
+        The phase schedule consumes each member's resumed columnar
+        stream in turn, copying phase-sized *slices* between column
+        buffers instead of instruction objects; output chunks are
+        emitted at exactly ``chunk_size`` rows (remainder last), the
+        same boundaries :func:`~repro.cpu.stream.chunk_instructions`
+        produces, so the chunk stream — not just the instruction
+        stream — is identical to the object interleave's.
+        """
+        schedule = self.phase_schedule(num_instructions)
+        contributions = [0] * len(self.members)
+        for member, length in schedule:
+            contributions[member] += length
+        streams: List[Optional[Iterator[Columns]]] = [
+            self._member_columns(index, contributions[index], seed, chunk_size)
+            if contributions[index]
+            else None
+            for index in range(len(self.members))
+        ]
+        # Per-member cursor into its current source chunk's columns.
+        current: List[Optional[Columns]] = [None] * len(self.members)
+        cursor = [0] * len(self.members)
+        out = tuple(array(code) for code in COLUMN_TYPECODES)
+        emitted = 0
+        for member, length in schedule:
+            need = length
+            while need:
+                cols = current[member]
+                if cols is None or cursor[member] >= len(cols[0]):
+                    stream = streams[member]
+                    assert stream is not None  # scheduled => has a stream
+                    cols = current[member] = next(stream)
+                    cursor[member] = 0
+                start = cursor[member]
+                take = min(need, len(cols[0]) - start)
+                stop = start + take
+                for buf, col in zip(out, cols):
+                    buf += col[start:stop]
+                cursor[member] = stop
+                need -= take
+                while len(out[0]) >= chunk_size:
+                    head = tuple(buf[:chunk_size] for buf in out)
+                    for buf in out:
+                        del buf[:chunk_size]
+                    yield TraceChunk.from_columns(emitted, head)
+                    emitted += chunk_size
+        if len(out[0]):
+            yield TraceChunk.from_columns(emitted, out)
+
     def _member_stream(
         self, index: int, contribution: int, seed: int, chunk_size: int
     ) -> Iterator[TraceInstruction]:
         """Member ``index``'s single continuous stream, relocated.
 
-        Generated lazily through :func:`~repro.cpu.workloads.iter_trace`
-        so at most one chunk of each member's source exists at a time;
-        the per-member PC offset is applied instruction by instruction.
+        Executable object-path reference for :meth:`_member_columns` —
+        :meth:`build_trace` still consumes it, and the columnar
+        equivalence gate checks the two interleaves digest-identical.
         """
         offset = index * MEMBER_PC_STRIDE
         for chunk in iter_trace(
@@ -169,11 +258,13 @@ class PhasedProfile:
         :func:`~repro.cpu.workloads.iter_trace` dispatches to).
 
         Memory is bounded by one output chunk plus one source chunk per
-        member, independent of ``num_instructions``. The instruction
-        stream is identical to :meth:`build_trace`'s.
+        member, independent of ``num_instructions``. Chunks are
+        column-backed (the batch kernel feeds them zero-copy); the
+        instruction stream is identical to :meth:`build_trace`'s, which
+        the columnar equivalence gate enforces digest-for-digest.
         """
-        return chunk_instructions(
-            self._interleave(num_instructions, seed, chunk_size), chunk_size
+        return self._interleave_columns(
+            num_instructions, seed, check_chunk_size(chunk_size)
         )
 
     def build_trace(

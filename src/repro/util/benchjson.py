@@ -1,0 +1,73 @@
+"""Machine-readable benchmark results: one JSON file, one entry per bench.
+
+The bench suite's assertions (throughput floors, speedup ratios) are
+pass/fail; CI also wants the measured numbers as an artifact so trends
+are visible across runs without scraping pytest output. When
+``$REPRO_BENCH_JSON`` names a file, :func:`record_benchmark` merges
+``bench name -> {ops_per_sec, speedup, ...}`` entries into it
+(load-modify-write with an atomic replace, so partially-failed bench
+sessions still leave a valid artifact with every bench that ran).
+Without the variable set, recording is a no-op — local bench runs need
+no ceremony.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = ["ENV_BENCH_JSON", "record_benchmark"]
+
+ENV_BENCH_JSON = "REPRO_BENCH_JSON"
+
+
+def record_benchmark(
+    name: str,
+    ops_per_sec: Optional[float] = None,
+    speedup: Optional[float] = None,
+    **extra: object,
+) -> Optional[Path]:
+    """Merge one bench's numbers into the ``$REPRO_BENCH_JSON`` artifact.
+
+    Returns the artifact path, or ``None`` when recording is disabled.
+    ``None``-valued fields are omitted; extra keyword fields (trace
+    lengths, floor values) are stored verbatim.
+    """
+    target = os.environ.get(ENV_BENCH_JSON, "").strip()
+    if not target:
+        return None
+    path = Path(target)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        data = {}
+    if not isinstance(data, dict):
+        data = {}
+    entry: Dict[str, object] = {}
+    if ops_per_sec is not None:
+        entry["ops_per_sec"] = ops_per_sec
+    if speedup is not None:
+        entry["speedup"] = speedup
+    for key, value in extra.items():
+        if value is not None:
+            entry[key] = value
+    data[name] = entry
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, scratch = tempfile.mkstemp(
+        dir=str(path.parent), prefix=".bench-", suffix=".json"
+    )
+    try:
+        with os.fdopen(handle, "w") as stream:
+            json.dump(data, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        os.replace(scratch, path)
+    except OSError:
+        try:
+            os.unlink(scratch)
+        except OSError:
+            pass
+        raise
+    return path

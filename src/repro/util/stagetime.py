@@ -1,0 +1,125 @@
+"""Process-wide per-stage wall-time accounting for simulation runs.
+
+The columnar batch path splits a run into four stages — ``generate``
+(pulling the next trace chunk out of the walker), ``decode`` (turning a
+chunk into the kernel's typed columns; ~zero for column-backed chunks),
+``kernel`` (the C cycle loop), and ``pricing`` (statistics assembly and
+the closed-loop pricing walk). This module is the accumulator they
+report into: a flat ``stage -> seconds`` map with snapshot/delta
+helpers, so :func:`repro.exec.engine.run_jobs` can attribute exactly
+the time spent inside one batch to that batch's
+:class:`~repro.exec.engine.BatchReport`.
+
+Timings are observability only: they never feed results, cache keys, or
+control flow, and the accumulator deliberately mirrors the engine's
+backend counters — process-wide, cleared by tests, merged across worker
+processes by the pool backend (each worker returns its per-job delta
+alongside the result; SSH workers do not relay timings over the wire).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, Tuple, TypeVar
+
+_T = TypeVar("_T")
+
+__all__ = [
+    "STAGES",
+    "absorb",
+    "absorb_into",
+    "add",
+    "delta_since",
+    "format_stages",
+    "reset",
+    "snapshot",
+    "timed",
+    "timed_iterator",
+    "totals",
+]
+
+#: Canonical stage names in pipeline order (other names are allowed;
+#: these are the ones the batch path reports and the CLIs print).
+STAGES = ("generate", "decode", "kernel", "pricing")
+
+_totals: Dict[str, float] = {}
+
+
+def add(stage: str, seconds: float) -> None:
+    """Accrue ``seconds`` of wall time to ``stage``."""
+    _totals[stage] = _totals.get(stage, 0.0) + seconds
+
+
+def absorb_into(into: Dict[str, float], delta: Dict[str, float]) -> None:
+    """Merge ``delta`` into an external ``stage -> seconds`` map."""
+    for stage, seconds in delta.items():
+        into[stage] = into.get(stage, 0.0) + seconds
+
+
+def absorb(delta: Dict[str, float]) -> None:
+    """Merge another process's stage delta into this accumulator."""
+    absorb_into(_totals, delta)
+
+
+def totals() -> Dict[str, float]:
+    """A copy of the accumulated ``stage -> seconds`` map."""
+    return dict(_totals)
+
+
+def snapshot() -> Dict[str, float]:
+    """Alias of :func:`totals` that reads as intent at call sites."""
+    return dict(_totals)
+
+
+def delta_since(before: Dict[str, float]) -> Dict[str, float]:
+    """Per-stage seconds accrued since ``before`` (a :func:`snapshot`)."""
+    delta: Dict[str, float] = {}
+    for stage, seconds in _totals.items():
+        gained = seconds - before.get(stage, 0.0)
+        if gained > 0.0:
+            delta[stage] = gained
+    return delta
+
+
+def reset() -> None:
+    """Zero the accumulator (tests, embedding applications)."""
+    _totals.clear()
+
+
+@contextmanager
+def timed(stage: str) -> Iterator[None]:
+    """Accrue the wall time of the enclosed block to ``stage``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        add(stage, time.perf_counter() - start)
+
+
+def timed_iterator(stage: str, iterable: Iterable[_T]) -> Iterator[_T]:
+    """Yield from ``iterable``, charging each ``next()`` to ``stage``.
+
+    This is how lazy trace generation gets attributed: the chunk
+    iterator does its work inside ``next()``, which this wrapper times,
+    while the consumer's own time between pulls is charged elsewhere.
+    """
+    iterator = iter(iterable)
+    while True:
+        start = time.perf_counter()
+        try:
+            item = next(iterator)
+        except StopIteration:
+            add(stage, time.perf_counter() - start)
+            return
+        add(stage, time.perf_counter() - start)
+        yield item
+
+
+def format_stages(stage_seconds: Dict[str, float]) -> str:
+    """One ``stage=1.234s`` token per stage, canonical stages first."""
+    ordered: Tuple[str, ...] = tuple(
+        [s for s in STAGES if s in stage_seconds]
+        + sorted(s for s in stage_seconds if s not in STAGES)
+    )
+    return " ".join(f"{s}={stage_seconds[s]:.3f}s" for s in ordered)
