@@ -44,15 +44,29 @@ store tier by tier: ``stats`` reports entry counts and bytes,
 ``verify`` unpickles every entry and removes corrupt ones, and
 ``gc --older-than DAYS`` prunes entries by age (content-addressed keys
 make pruning purely a disk-space lever — never a correctness risk).
+``--json`` switches ``stats``/``verify`` to one machine-readable JSON
+document on stdout.
+
+Observability (``docs/observability.md``): ``--trace-out FILE`` records
+spans across the whole run — CLI dispatch, batch scheduling, backend
+submission, per-job and per-stage work, including spans relayed back
+from pool and SSH workers — as Chrome trace-event JSON loadable in
+Perfetto; ``--run-manifest FILE`` writes a JSON provenance artifact
+(argv, model fingerprint, backend/store config, cache stats, counters,
+latency quantiles, metrics snapshot) that ``repro report FILE`` renders
+for humans.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from typing import Callable, Dict
 
 from repro import package_version
+from repro.obs import tracer
 from repro.experiments import (
     ablations,
     figure3,
@@ -104,19 +118,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(_registry(DEFAULT_SCALE))
-        + ["perf", "robustness", "sweep", "all", "cache", "list"],
+        + ["perf", "robustness", "sweep", "all", "cache", "report", "list"],
         help="experiment to run, 'sweep' for a policy-grid sweep, 'perf' "
         "for the closed-loop energy-vs-slowdown study, 'robustness' for "
         "the sampled-scenario policy-robustness study, 'all' for "
         "everything, 'cache' to inspect/maintain the result store, "
-        "'list' to enumerate",
+        "'report' to render a --run-manifest file, 'list' to enumerate",
     )
     parser.add_argument(
         "action",
         nargs="?",
-        choices=("stats", "verify", "gc"),
         default=None,
-        help="cache subcommand action ('repro cache' only; default: stats)",
+        help="cache subcommand action (stats|verify|gc, default: stats) "
+        "or the manifest path for 'repro report'",
     )
     parser.add_argument(
         "--quick",
@@ -230,6 +244,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="'repro cache gc': remove entries not written in the last "
         "DAYS days (fractions allowed)",
     )
+    cache_group.add_argument(
+        "--json",
+        action="store_true",
+        help="'repro cache stats|verify': emit one machine-readable JSON "
+        "document on stdout instead of the per-tier text lines",
+    )
     runner.add_execution_arguments(parser)
     return parser
 
@@ -306,10 +326,15 @@ def _run_perf(args: argparse.Namespace, scale: ExperimentScale) -> str:
     return perf_impact.render(result)
 
 
+#: The machine-readable ``repro cache --json`` document schema tag.
+CACHE_REPORT_SCHEMA = "repro.cache-report/1"
+
+
 def _run_cache(args: argparse.Namespace) -> int:
     """The ``repro cache [stats|verify|gc]`` operator subcommand."""
     from repro.exec import cache as result_cache
     from repro.exec.stores import store_layers
+    from repro.obs.manifest import to_json
 
     store = result_cache.active()
     if store is None:
@@ -323,32 +348,67 @@ def _run_cache(args: argparse.Namespace) -> int:
     if action == "gc" and args.older_than is None:
         print("repro cache gc: --older-than DAYS is required", file=sys.stderr)
         return 2
+    tiers = []
     for name, layer in store_layers(store):
+        tier = {"tier": name, "directory": str(layer.directory)}
         if action == "stats":
             stats = layer.stats()
-            print(
+            tier.update(entries=stats.entries, total_bytes=stats.total_bytes)
+            text = (
                 f"{name}: {stats.entries} entries, {stats.total_bytes} bytes"
                 f"  ({layer.directory})"
             )
         elif action == "verify":
             verdict = layer.verify()
-            print(
+            tier.update(
+                checked=verdict.checked, ok=verdict.ok, corrupt_removed=verdict.corrupt
+            )
+            text = (
                 f"{name}: {verdict.checked} checked, {verdict.ok} ok, "
                 f"{verdict.corrupt} corrupt removed  ({layer.directory})"
             )
         else:
             removed = layer.gc(args.older_than * 86_400.0)
-            print(
+            tier.update(removed=removed, older_than_days=args.older_than)
+            text = (
                 f"{name}: removed {removed} entries older than "
                 f"{args.older_than:g} days  ({layer.directory})"
             )
+        tiers.append(tier)
+        if not args.json:
+            print(text)
+    if args.json:
+        document = {
+            "schema": CACHE_REPORT_SCHEMA,
+            "action": action,
+            "store": store.describe(),
+            "tiers": tiers,
+        }
+        print(to_json(document), end="")
+    return 0
+
+
+def _run_report(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Render a ``--run-manifest`` artifact for humans."""
+    from repro.obs import manifest as manifest_mod
+
+    if not args.action:
+        parser.error("repro report requires a run-manifest path")
+    try:
+        document = manifest_mod.load_manifest(args.action)
+    except FileNotFoundError:
+        print(f"repro report: no such file: {args.action}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"repro report: {error}", file=sys.stderr)
+        return 2
+    print(manifest_mod.render_manifest(document))
     return 0
 
 
 def _dispatch(args: argparse.Namespace) -> int:
     scale = QUICK_SCALE if args.quick else DEFAULT_SCALE
     registry = _registry(scale)
-    runner.apply_execution_arguments(args)
     if args.experiment == "cache":
         return _run_cache(args)
     if args.experiment == "all":
@@ -367,21 +427,54 @@ def _dispatch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_action(args: argparse.Namespace, parser: argparse.ArgumentParser) -> None:
+    """Per-subcommand validation of the free-form ``action`` positional."""
+    if args.experiment == "cache":
+        if args.action not in (None, "stats", "verify", "gc"):
+            parser.error(
+                f"unknown cache action {args.action!r} "
+                "(choose from stats, verify, gc)"
+            )
+    elif args.experiment == "report":
+        pass  # the action is the manifest path; _run_report checks it
+    elif args.action is not None:
+        parser.error(
+            f"'{args.action}' only applies to 'repro cache' and "
+            f"'repro report', not {args.experiment!r}"
+        )
+
+
 def main(argv=None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:  # pragma: no cover - depends on a closed pipe
+        # stdout went away mid-render (e.g. `repro report run.json | head`).
+        # Devnull the stream so the interpreter's shutdown flush cannot
+        # raise a second traceback, and exit with the conventional
+        # 128+SIGPIPE status.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
+
+
+def _main(argv=None) -> int:
+    started = time.time()
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.action is not None and args.experiment != "cache":
-        parser.error(
-            f"'{args.action}' only applies to 'repro cache', "
-            f"not {args.experiment!r}"
-        )
+    _validate_action(args, parser)
     if args.experiment == "list":
         for name in sorted(_registry(DEFAULT_SCALE)) + ["perf", "robustness", "sweep"]:
             print(name)
         return 0
-    code = _dispatch(args)
+    if args.experiment == "report":
+        return _run_report(args, parser)
+    runner.apply_execution_arguments(args)
+    with tracer.span(f"cli.{args.experiment}", category="cli"):
+        code = _dispatch(args)
     if args.verbose:
         runner.print_telemetry()
+    runner.finalize_observability(
+        args, list(argv) if argv is not None else sys.argv[1:], code, started
+    )
     return code
 
 

@@ -34,6 +34,7 @@ failed job always aborts its batch — partial batches are never returned.
 
 from __future__ import annotations
 
+import functools
 import os
 import queue
 import subprocess
@@ -47,11 +48,15 @@ from repro.cpu.simulator import SimulationResult
 from repro.exec.hashing import CACHE_SCHEMA_VERSION, model_fingerprint
 from repro.exec.jobs import SimulationJob
 from repro.exec.worker import (
+    PROTOCOL_VERSION,
     decode_payload,
     encode_payload,
     read_frame,
+    run_job_observed,
     write_frame,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracer
 
 ENV_BACKEND = "REPRO_BACKEND"
 ENV_SSH_PYTHON = "REPRO_SSH_PYTHON"
@@ -101,21 +106,30 @@ class ExecutionBackend(Protocol):
         ...
 
 
-def _execute_job_timed(job: SimulationJob):
+def _execute_job_observed(job: SimulationJob, trace: bool = False):
     """Worker-process entry point: simulate (no cache access) and ship
-    the job's stage-time delta.
+    the job's observability delta.
 
-    Pool workers accrue generate/decode/kernel/pricing wall time in
-    their own process; returning the per-job delta alongside the result
-    lets the submitting process absorb it, so the ``--verbose`` stage
-    report covers pooled runs too. (Workers are reused across jobs,
-    hence delta, not totals.)
+    Pool workers accrue stage wall time, per-job latency, and (when
+    ``trace``) spans in their own process; returning the per-job
+    metrics-registry delta and drained span buffer alongside the result
+    lets the submitting process absorb both, so ``--verbose`` stage
+    reports and ``--trace-out`` cover pooled runs too. (Workers are
+    reused across jobs, hence delta, not totals.)
     """
-    from repro.util import stagetime
+    from repro.obs import metrics, tracer
 
-    before = stagetime.snapshot()
-    result = job.run()
-    return result, stagetime.delta_since(before)
+    if trace and not tracer.is_enabled():
+        tracer.enable(True)
+    # On fork-start pools the parent's buffered spans are inherited;
+    # drop them so they are not relayed back as duplicates.
+    tracer.drain()
+    before = metrics.registry().snapshot()
+    result = run_job_observed(job)
+    return result, {
+        "metrics": metrics.registry().delta_since(before),
+        "spans": tracer.drain() if trace else [],
+    }
 
 
 class SerialBackend:
@@ -127,7 +141,7 @@ class SerialBackend:
         self, jobs: Sequence[SimulationJob]
     ) -> Iterator[Tuple[int, SimulationResult]]:
         for index, job in enumerate(jobs):
-            yield index, job.run()
+            yield index, run_job_observed(job)
 
     def workers_for(self, pending: int) -> int:
         return 1
@@ -161,18 +175,16 @@ class ProcessPoolBackend:
         workers = self._resolved_workers()
         if workers <= 1 or len(jobs) == 1:
             for index, job in enumerate(jobs):
-                yield index, job.run()
+                yield index, run_job_observed(job)
             return
-        from repro.util import stagetime
-
+        run = functools.partial(_execute_job_observed, trace=tracer.is_enabled())
         max_workers = min(workers, len(jobs))
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             # Executor.map preserves submission order, so indices line
             # up with ``jobs`` regardless of completion order.
-            for index, (result, stages) in enumerate(
-                pool.map(_execute_job_timed, jobs)
-            ):
-                stagetime.absorb(stages)
+            for index, (result, relay) in enumerate(pool.map(run, jobs)):
+                obs_metrics.registry().absorb(relay.get("metrics") or {})
+                tracer.absorb(relay.get("spans") or [])
                 yield index, result
 
     def workers_for(self, pending: int) -> int:
@@ -183,13 +195,17 @@ class ProcessPoolBackend:
         return f"ProcessPoolBackend(workers={self.workers!r})"
 
 
-def validate_ready(frame: Optional[dict], host: str) -> None:
+def validate_ready(frame: Optional[dict], host: str) -> int:
     """Check a worker's handshake frame against this process's model.
 
     A fleet host running a different checkout would compute results that
     disagree with this process's cache keys — and a shared write-once
     store would then publish them globally. Refusing the handshake turns
     silent wrong-result corruption into a loud startup error.
+
+    Returns the wire protocol version the worker advertised (``1`` when
+    the ready frame predates version advertisement) so the caller knows
+    whether the observability relay can be negotiated.
     """
     if frame is None or frame.get("kind") != "ready":
         kind = None if frame is None else frame.get("kind")
@@ -205,6 +221,10 @@ def validate_ready(frame: Optional[dict], host: str) -> None:
             f"(fingerprint {str(frame.get('fingerprint'))[:12]}... != "
             f"{model_fingerprint()[:12]}...); update its checkout"
         )
+    try:
+        return max(1, int(frame.get("proto", 1)))
+    except (TypeError, ValueError):
+        return 1
 
 
 class SSHBackend:
@@ -269,7 +289,21 @@ class SSHBackend:
         proc = None
         try:
             proc = self._spawn(host)
-            validate_ready(read_frame(proc.stdout), host)
+            proto = validate_ready(read_frame(proc.stdout), host)
+            relay = proto >= 2
+            if relay:
+                # v2 workers get the observability relay switched on; v1
+                # workers must never see this frame (their unknown-kind
+                # error reply would misalign the lockstep conversation).
+                write_frame(
+                    proc.stdin,
+                    {
+                        "kind": "hello",
+                        "proto": PROTOCOL_VERSION,
+                        "metrics": True,
+                        "trace": tracer.is_enabled(),
+                    },
+                )
             for index, job in shard:
                 write_frame(
                     proc.stdin,
@@ -290,6 +324,18 @@ class SSHBackend:
                         f"unexpected frame from {host!r}: kind={kind!r} id={response.get('id')!r}"
                     )
                 result = decode_payload(response["result"])
+                if relay:
+                    extra = read_frame(proc.stdout)
+                    if (
+                        extra is None
+                        or extra.get("kind") != "metrics"
+                        or extra.get("id") != index
+                    ):
+                        raise BackendError(
+                            f"worker on {host!r} negotiated the metrics relay "
+                            f"but did not follow result {index} with its metrics frame"
+                        )
+                    out_queue.put(("metrics", extra))
                 out_queue.put(("result", (index, result)))
             write_frame(proc.stdin, {"kind": "shutdown"})
             read_frame(proc.stdout)  # the bye frame; EOF is fine too
@@ -333,6 +379,11 @@ class SSHBackend:
             if kind == "result":
                 if error is None:
                     yield payload
+            elif kind == "metrics":
+                # Absorbed here, in the single-threaded drain loop, so
+                # shard threads never touch the registry concurrently.
+                obs_metrics.registry().absorb(payload.get("metrics") or {})
+                tracer.absorb(payload.get("spans") or [])
             elif kind == "error":
                 if error is None:
                     error = payload

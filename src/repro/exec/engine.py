@@ -37,6 +37,8 @@ from repro.exec.backends import (
     set_default_backend,
 )
 from repro.exec.jobs import SimulationJob
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracer
 from repro.util import stagetime
 
 __all__ = [
@@ -115,9 +117,14 @@ class BatchReport:
     #: accrued while this batch executed — the simulation stages of
     #: :mod:`repro.util.stagetime`. Serial and inline-pool runs measure
     #: directly; pool workers return their deltas with each result; SSH
-    #: workers do not relay timings over the wire, so remote stage time
-    #: is absent there. Observability only: never results or cache keys.
+    #: workers relay theirs over the wire protocol's negotiated
+    #: ``metrics`` frame. Observability only: never results or cache keys.
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Per-job wall-time quantiles (``{"p50": ..., "p90": ..., "p99":
+    #: ...}`` seconds) over the jobs this batch actually executed,
+    #: sourced from the :data:`repro.obs.metrics.JOB_SECONDS` histogram
+    #: delta. Empty for an all-warm batch. Observability only.
+    latency_quantiles: Dict[str, float] = field(default_factory=dict)
 
 
 def _stamp_defaults(job: SimulationJob) -> SimulationJob:
@@ -133,21 +140,43 @@ def _stamp_defaults(job: SimulationJob) -> SimulationJob:
 #: prove a warm fleet run executed zero jobs.
 _TELEMETRY: Dict[str, BatchReport] = {}
 
+#: Per-backend accumulated ``job_seconds`` histogram deltas: one tiny
+#: private registry per backend name, merged batch by batch, so the
+#: cumulative per-backend latency quantiles stay exact across batches
+#: (quantiles of sums, never sums of quantiles).
+_LATENCY: Dict[str, obs_metrics.MetricsRegistry] = {}
+
 _COUNTER_FIELDS = ("submitted", "unique", "cache_hits", "cache_misses", "executed", "failed")
 
 
-def _record_telemetry(report: BatchReport) -> None:
+def _record_telemetry(report: BatchReport, latency_delta: Optional[dict]) -> None:
     name = report.backend or "(warm)"
     tally = _TELEMETRY.setdefault(name, BatchReport(backend=name))
     for name_ in _COUNTER_FIELDS:
         setattr(tally, name_, getattr(tally, name_) + getattr(report, name_))
     tally.workers_used = max(tally.workers_used, report.workers_used)
     stagetime.absorb_into(tally.stage_seconds, report.stage_seconds)
+    if latency_delta and latency_delta.get("count"):
+        _LATENCY.setdefault(name, obs_metrics.MetricsRegistry()).absorb(
+            {"histograms": {obs_metrics.JOB_SECONDS: latency_delta}}
+        )
+
+
+def _tally_latency_quantiles(name: str) -> Dict[str, float]:
+    """Cumulative per-backend p50/p90/p99 from the merged histograms."""
+    registry = _LATENCY.get(name)
+    if registry is None:
+        return {}
+    snap = registry.snapshot()["histograms"].get(obs_metrics.JOB_SECONDS)
+    if not snap or not snap.get("count"):
+        return {}
+    return obs_metrics.quantiles(snap)
 
 
 def _copy_report(tally: BatchReport) -> BatchReport:
     values = {f.name: getattr(tally, f.name) for f in fields(BatchReport)}
     values["stage_seconds"] = dict(tally.stage_seconds)
+    values["latency_quantiles"] = _tally_latency_quantiles(tally.backend or "(warm)")
     return BatchReport(**values)
 
 
@@ -159,13 +188,15 @@ def telemetry() -> Dict[str, BatchReport]:
 def reset_telemetry() -> None:
     """Zero the process-wide counters (tests, embedding applications)."""
     _TELEMETRY.clear()
+    _LATENCY.clear()
 
 
 def telemetry_lines() -> List[str]:
     """The ``--verbose`` per-backend counter lines, sorted by backend.
 
     Backends that accrued simulation stage time get a second line with
-    the generate/decode/kernel/pricing wall-time split.
+    the generate/decode/kernel/pricing wall-time split, and backends
+    that executed jobs a third with the per-job latency quantiles.
     """
     lines: List[str] = []
     for name, t in sorted(_TELEMETRY.items()):
@@ -178,6 +209,15 @@ def telemetry_lines() -> List[str]:
             lines.append(
                 f"[repro] stages {name}: "
                 f"{stagetime.format_stages(t.stage_seconds)}"
+            )
+        marks = _tally_latency_quantiles(name)
+        if marks:
+            lines.append(
+                f"[repro] latency {name}: "
+                + " ".join(
+                    f"{label}={marks[label]:.4f}s"
+                    for label in sorted(marks, key=lambda k: float(k[1:]))
+                )
             )
     return lines
 
@@ -242,40 +282,66 @@ def run_jobs(
         if key not in state.unique:
             state.unique[key] = job
 
-    _resolve_from_cache(state, use_cache)
-
-    workers_used = 1
-    executed = 0
-    failed = 0
-    stages_before = stagetime.snapshot()
-    try:
-        if state.pending:
-            workers_used = backend_obj.workers_for(len(state.pending))
-            stamped = [job.with_stamped_defaults() for _, job in state.pending]
-            for index, result in backend_obj.submit_batch(stamped):
-                key, job = state.pending[index]
-                state.results[key] = result
-                executed += 1
-                if use_cache:
-                    store_result(job.profile, result)
-    except BaseException:
-        failed = 1
-        raise
-    finally:
-        batch = BatchReport(
-            submitted=len(ordered),
+    with tracer.span(
+        "engine.run_jobs", category="engine", submitted=len(ordered)
+    ) as run_span:
+        _resolve_from_cache(state, use_cache)
+        run_span.set(
             unique=len(state.unique),
             cache_hits=len(state.unique) - len(state.pending),
-            cache_misses=len(state.pending),
-            executed=executed,
-            failed=failed,
-            workers_used=workers_used,
-            backend=backend_obj.name if state.pending else "",
-            stage_seconds=stagetime.delta_since(stages_before),
+            pending=len(state.pending),
         )
-        _record_telemetry(batch)
-        if report is not None:
-            for field_ in fields(BatchReport):
-                setattr(report, field_.name, getattr(batch, field_.name))
+
+        workers_used = 1
+        executed = 0
+        failed = 0
+        stages_before = stagetime.snapshot()
+        obs_before = obs_metrics.registry().snapshot()
+        latency_delta: Optional[dict] = None
+        try:
+            if state.pending:
+                workers_used = backend_obj.workers_for(len(state.pending))
+                stamped = [job.with_stamped_defaults() for _, job in state.pending]
+                with tracer.span(
+                    "backend.submit",
+                    category="backend",
+                    backend=backend_obj.name,
+                    jobs=len(stamped),
+                    workers=workers_used,
+                ):
+                    for index, result in backend_obj.submit_batch(stamped):
+                        key, job = state.pending[index]
+                        state.results[key] = result
+                        executed += 1
+                        if use_cache:
+                            store_result(job.profile, result)
+        except BaseException:
+            failed = 1
+            raise
+        finally:
+            obs_delta = obs_metrics.registry().delta_since(obs_before)
+            latency_delta = obs_delta.get("histograms", {}).get(
+                obs_metrics.JOB_SECONDS
+            )
+            batch = BatchReport(
+                submitted=len(ordered),
+                unique=len(state.unique),
+                cache_hits=len(state.unique) - len(state.pending),
+                cache_misses=len(state.pending),
+                executed=executed,
+                failed=failed,
+                workers_used=workers_used,
+                backend=backend_obj.name if state.pending else "",
+                stage_seconds=stagetime.delta_since(stages_before),
+                latency_quantiles=(
+                    obs_metrics.quantiles(latency_delta)
+                    if latency_delta and latency_delta.get("count")
+                    else {}
+                ),
+            )
+            _record_telemetry(batch, latency_delta)
+            if report is not None:
+                for field_ in fields(BatchReport):
+                    setattr(report, field_.name, getattr(batch, field_.name))
 
     return [state.results[key] for key in state.key_order]

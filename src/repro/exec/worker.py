@@ -17,10 +17,12 @@ framing itself inspectable).
 
 The conversation::
 
-    worker > {"kind": "ready", "fingerprint": ..., "schema": ...}
+    worker > {"kind": "ready", "fingerprint": ..., "schema": ..., "proto": 2}
+    engine > {"kind": "hello", "proto": 2, "metrics": true, "trace": false}
     engine > {"kind": "job", "id": 0, "job": <base64 pickle>}
     worker > {"kind": "result", "id": 0, "result": <base64 pickle>}
              ... or {"kind": "error", "id": 0, "error": ..., "traceback": ...}
+    worker > {"kind": "metrics", "id": 0, "metrics": <delta>, "spans": [...]}
     engine > {"kind": "shutdown"}
     worker > {"kind": "bye", "executed": N}
 
@@ -28,6 +30,27 @@ The ``ready`` frame carries the worker's model fingerprint and cache
 schema version; the engine refuses to dispatch to a worker whose
 fingerprint differs from its own, so a stale checkout on one fleet host
 can never publish wrong results under a current store key.
+
+Protocol version 2 adds the observability relay, negotiated so both
+skew directions degrade gracefully rather than desync the framing:
+
+* the worker *advertises* ``"proto": 2`` in its ready frame;
+* the engine *requests* the relay by sending a ``hello`` frame — but
+  only to a worker that advertised ``proto >= 2``. A v1 worker never
+  sees a hello (whose unknown-kind error reply would misalign the
+  lockstep conversation), and a v2 worker that receives no hello stays
+  silent about metrics, so a v1 engine is never surprised by a frame
+  kind it does not know.
+* once negotiated, the worker follows every ``result`` frame with one
+  ``metrics`` frame carrying its metrics-registry delta for that job
+  (:meth:`repro.obs.metrics.MetricsRegistry.delta_since` payload) and —
+  when the hello asked for ``trace`` — its drained span buffer. This is
+  what closes the historical SSH telemetry gap: stage seconds ride the
+  delta as ``stage_seconds.*`` counters.
+
+``$REPRO_WORKER_PROTO=1`` pins a worker to the v1 wire behavior (no
+``proto`` advertisement, no metrics frames); the negotiation regression
+tests use it to stand in for an old-checkout fleet host.
 
 stdout is reserved for frames; simulation warnings go to stderr as
 usual. A malformed or unknown frame produces an ``error`` frame (with
@@ -38,17 +61,27 @@ from __future__ import annotations
 
 import base64
 import json
+import os
 import pickle
 import struct
 import sys
+import time
 import traceback
 from typing import BinaryIO, Optional
 
 from repro.exec.hashing import CACHE_SCHEMA_VERSION, model_fingerprint
+from repro.obs import metrics, tracer
 
 #: Upper bound on a single frame, as a guard against a corrupted or
 #: misaligned length prefix being read as a multi-gigabyte allocation.
 MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: Wire protocol generation this checkout speaks. Version 2 added the
+#: negotiated ``hello``/``metrics`` observability relay.
+PROTOCOL_VERSION = 2
+
+#: Set to ``1`` to force the v1 wire behavior (testing version skew).
+ENV_WORKER_PROTO = "REPRO_WORKER_PROTO"
 
 _LENGTH = struct.Struct(">I")
 
@@ -116,13 +149,55 @@ def read_frame(stream: BinaryIO) -> Optional[dict]:
     return frame
 
 
+def protocol_version() -> int:
+    """The wire protocol generation this worker should speak.
+
+    Normally :data:`PROTOCOL_VERSION`; ``$REPRO_WORKER_PROTO`` pins it
+    down for version-skew testing (anything unparsable is ignored).
+    """
+    raw = os.environ.get(ENV_WORKER_PROTO, "").strip()
+    if raw:
+        try:
+            return max(1, min(PROTOCOL_VERSION, int(raw)))
+        except ValueError:
+            pass
+    return PROTOCOL_VERSION
+
+
 def ready_frame() -> dict:
     """The handshake frame a worker emits before accepting jobs."""
-    return {
+    frame = {
         "kind": "ready",
         "fingerprint": model_fingerprint(),
         "schema": CACHE_SCHEMA_VERSION,
     }
+    if protocol_version() >= 2:
+        frame["proto"] = protocol_version()
+    return frame
+
+
+def run_job_observed(job):
+    """Run one job under a ``worker.job`` span, observing its latency.
+
+    The single instrumented execution point every backend funnels
+    through: the wall time lands in the :data:`repro.obs.metrics.JOB_SECONDS`
+    histogram (the source of the batch p50/p90/p99 report) and, when
+    tracing, the job becomes a span carrying the workload identity.
+    """
+    profile = getattr(job, "profile", None)
+    started = time.perf_counter()
+    with tracer.span(
+        "worker.job",
+        category="job",
+        workload=getattr(profile, "name", type(profile).__name__),
+        instructions=getattr(job, "num_instructions", None),
+        seed=getattr(job, "seed", None),
+    ):
+        result = job.run()
+    metrics.registry().histogram(metrics.JOB_SECONDS).observe(
+        time.perf_counter() - started
+    )
+    return result
 
 
 def serve(stdin: Optional[BinaryIO] = None, stdout: Optional[BinaryIO] = None) -> int:
@@ -133,8 +208,11 @@ def serve(stdin: Optional[BinaryIO] = None, stdout: Optional[BinaryIO] = None) -
     """
     inp = stdin if stdin is not None else sys.stdin.buffer
     out = stdout if stdout is not None else sys.stdout.buffer
+    proto = protocol_version()
     write_frame(out, ready_frame())
     executed = 0
+    relay_metrics = False
+    relay_trace = False
     while True:
         frame = read_frame(inp)
         if frame is None:
@@ -144,6 +222,14 @@ def serve(stdin: Optional[BinaryIO] = None, stdout: Optional[BinaryIO] = None) -
         if kind == "shutdown":
             write_frame(out, {"kind": "bye", "executed": executed})
             return 0
+        if kind == "hello" and proto >= 2:
+            # The engine negotiated the observability relay. No reply:
+            # the conversation stays lockstep on job/result pairs.
+            relay_metrics = bool(frame.get("metrics"))
+            relay_trace = bool(frame.get("trace"))
+            if relay_trace:
+                tracer.enable(True)
+            continue
         if kind != "job":
             write_frame(
                 out,
@@ -156,9 +242,10 @@ def serve(stdin: Optional[BinaryIO] = None, stdout: Optional[BinaryIO] = None) -
             )
             continue
         job_id = frame.get("id")
+        before = metrics.registry().snapshot() if relay_metrics else None
         try:
             job = decode_payload(frame["job"])
-            result = job.run()
+            result = run_job_observed(job)
         except BaseException as error:  # noqa: BLE001 - shipped to the engine
             write_frame(
                 out,
@@ -169,12 +256,24 @@ def serve(stdin: Optional[BinaryIO] = None, stdout: Optional[BinaryIO] = None) -
                     "traceback": traceback.format_exc(),
                 },
             )
+            if relay_trace:
+                tracer.drain()  # spans of a failed job are not relayed
             continue
         executed += 1
         write_frame(
             out,
             {"kind": "result", "id": job_id, "result": encode_payload(result)},
         )
+        if relay_metrics:
+            write_frame(
+                out,
+                {
+                    "kind": "metrics",
+                    "id": job_id,
+                    "metrics": metrics.registry().delta_since(before),
+                    "spans": tracer.drain() if relay_trace else [],
+                },
+            )
 
 
 def main(argv: Optional[list] = None) -> int:  # pragma: no cover - exercised via SSHBackend

@@ -19,6 +19,7 @@ stderr).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, List, Optional, Tuple
@@ -27,6 +28,7 @@ from repro.cpu import kernel as kernel_mod
 from repro.cpu import stream
 from repro.exec import cache as result_cache
 from repro.exec import engine
+from repro.obs import tracer
 from repro.exec.engine import (
     BatchReport,
     resolve_workers,
@@ -214,6 +216,27 @@ def add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         "$REPRO_STORE or local)",
     )
     parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="collect spans across the run (CLI dispatch, batch "
+        "scheduling, backend submission, per-job and per-stage work — "
+        "including spans relayed back from pool and SSH workers) and "
+        "write them as Chrome trace-event JSON, loadable in Perfetto "
+        "(https://ui.perfetto.dev) or chrome://tracing "
+        "(default: $REPRO_TRACE_OUT or disabled — disabled tracing "
+        "costs nothing)",
+    )
+    parser.add_argument(
+        "--run-manifest",
+        default=None,
+        metavar="FILE",
+        help="write a JSON run manifest (argv, model fingerprint, "
+        "backend/store configuration, cache tier stats, per-backend "
+        "counters, stage times, metrics snapshot) after the run; render "
+        "it later with 'repro report FILE'",
+    )
+    parser.add_argument(
         "-v",
         "--verbose",
         action="store_true",
@@ -234,6 +257,34 @@ def apply_execution_arguments(args: argparse.Namespace) -> None:
     engine.set_default_backend(getattr(args, "backend", None))
     stream.set_default_streaming(args.streaming, chunk_size=args.chunk_size)
     kernel_mod.set_default_kernel(args.kernel)
+    tracer.configure(
+        getattr(args, "trace_out", None)
+        or os.environ.get(tracer.ENV_TRACE_OUT)
+        or None
+    )
+
+
+def finalize_observability(
+    args: argparse.Namespace,
+    argv: Optional[List[str]],
+    exit_code: int,
+    started: float,
+) -> None:
+    """Export the observability artifacts a run asked for.
+
+    Writes the Chrome trace when ``--trace-out``/``$REPRO_TRACE_OUT``
+    configured a path, and the run manifest when ``--run-manifest`` did.
+    Shared by this runner's ``main`` and the repro CLI.
+    """
+    if tracer.output_path():
+        tracer.export_chrome_trace()
+    manifest_path = getattr(args, "run_manifest", None)
+    if manifest_path:
+        from repro.obs import manifest as manifest_mod
+
+        manifest_mod.write_run_manifest(
+            manifest_path, argv=argv, exit_code=exit_code, started=started
+        )
 
 
 def print_telemetry(file=None) -> None:
@@ -251,6 +302,7 @@ def print_telemetry(file=None) -> None:
 
 
 def main(argv=None) -> int:
+    started = time.time()
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--quick",
@@ -260,9 +312,13 @@ def main(argv=None) -> int:
     add_execution_arguments(parser)
     args = parser.parse_args(argv)
     apply_execution_arguments(args)
-    run_all(QUICK_SCALE if args.quick else DEFAULT_SCALE, jobs=args.jobs)
+    with tracer.span("cli.run_all", category="cli"):
+        run_all(QUICK_SCALE if args.quick else DEFAULT_SCALE, jobs=args.jobs)
     if args.verbose:
         print_telemetry()
+    finalize_observability(
+        args, list(argv) if argv is not None else sys.argv[1:], 0, started
+    )
     return 0
 
 

@@ -1,0 +1,282 @@
+"""Contextvar-based span tracer with Chrome trace-event export.
+
+Spans are the "where did the time go" half of the observability layer
+(:mod:`repro.obs.metrics` is the "how much happened" half). A span is a
+named, attributed interval::
+
+    with tracer.span("engine.run_jobs", submitted=9):
+        ...
+
+Nesting is tracked through a :mod:`contextvars` variable, so spans nest
+correctly across generators and threads: every span records its parent's
+id, and exported events reconstruct the tree both by id and by time
+containment (Perfetto's native model).
+
+The tracer is **disabled by default and free when disabled**:
+:func:`span` returns one shared no-op context manager — no allocation,
+no clock read, no lock — so instrumentation can live on hot paths
+(per-chunk stage timers) without a performance tax. Enable it with
+:func:`enable` (the CLIs do this for ``--trace-out FILE`` /
+``$REPRO_TRACE_OUT``).
+
+Finished spans accumulate in a process-wide buffer as Chrome
+trace-event dicts (``ph: "X"`` complete events, microsecond wall-clock
+timestamps). Worker processes ship their buffers back over the
+execution backends' wire protocol (:mod:`repro.exec.worker`), the
+coordinator :func:`absorb`-s them, and :func:`export_chrome_trace`
+writes one merged ``trace.json`` loadable in Perfetto or
+``chrome://tracing`` — coordinator and worker spans share the
+wall-clock timeline, distinguished by ``pid``.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = [
+    "ENV_TRACE_OUT",
+    "Span",
+    "absorb",
+    "configure",
+    "drain",
+    "enable",
+    "events",
+    "export_chrome_trace",
+    "is_enabled",
+    "output_path",
+    "reset",
+    "span",
+    "validate_chrome_trace",
+]
+
+ENV_TRACE_OUT = "REPRO_TRACE_OUT"
+
+_enabled: bool = False
+_output_path: Optional[str] = None
+_events: List[dict] = []
+_lock = threading.Lock()
+_ids = itertools.count(1)
+
+#: The active span of the current execution context (for parent links).
+_current: "contextvars.ContextVar[Optional[Span]]" = contextvars.ContextVar(
+    "repro_active_span", default=None
+)
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live span; use :func:`span` rather than constructing directly."""
+
+    __slots__ = ("name", "category", "attrs", "span_id", "parent_id", "_start", "_token")
+
+    def __init__(self, name: str, category: str, attrs: Dict[str, object]):
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id = 0
+        self._start = 0.0
+        self._token: Optional[contextvars.Token] = None
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach (or update) attributes on the open span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        parent = _current.get()
+        self.parent_id = parent.span_id if parent is not None else 0
+        self.span_id = next(_ids)
+        self._token = _current.set(self)
+        self._start = time.time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.time()
+        if self._token is not None:
+            _current.reset(self._token)
+        args: Dict[str, object] = {"span_id": self.span_id}
+        if self.parent_id:
+            args["parent_id"] = self.parent_id
+        if exc_type is not None:
+            args["error"] = exc_type.__name__
+        args.update(self.attrs)
+        event = {
+            "name": self.name,
+            "cat": self.category,
+            "ph": "X",
+            "ts": self._start * 1e6,
+            "dur": (end - self._start) * 1e6,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "args": args,
+        }
+        with _lock:
+            _events.append(event)
+        return False
+
+
+def span(name: str, category: str = "repro", **attrs: object):
+    """Open a span context manager (the shared no-op when disabled)."""
+    if not _enabled:
+        return _NULL_SPAN
+    return Span(name, category, attrs)
+
+
+def enable(on: bool = True) -> None:
+    """Turn span collection on or off process-wide."""
+    global _enabled
+    _enabled = bool(on)
+
+
+def is_enabled() -> bool:
+    """Whether spans are currently being collected."""
+    return _enabled
+
+
+def configure(out: Union[None, str, Path]) -> None:
+    """Enable tracing and remember where to export (``None`` disables).
+
+    This is the ``--trace-out FILE`` / ``$REPRO_TRACE_OUT`` entry point:
+    the CLIs call it before dispatch and :func:`export_chrome_trace`
+    (with no argument) after.
+    """
+    global _output_path
+    if out is None:
+        _output_path = None
+        enable(False)
+        return
+    _output_path = str(out)
+    enable(True)
+
+
+def output_path() -> Optional[str]:
+    """The export path configured by :func:`configure`, if any."""
+    return _output_path
+
+
+def events() -> List[dict]:
+    """A copy of the buffered trace events."""
+    with _lock:
+        return list(_events)
+
+
+def drain() -> List[dict]:
+    """Pop and return all buffered events (what workers relay upstream)."""
+    with _lock:
+        drained = list(_events)
+        _events.clear()
+    return drained
+
+
+def absorb(foreign: List[dict]) -> None:
+    """Merge events relayed from another process into the buffer.
+
+    Only well-formed event dicts are kept — a malformed relay payload
+    degrades to dropped spans, never an exception in the coordinator.
+    """
+    accepted = [
+        event
+        for event in foreign
+        if isinstance(event, dict) and "name" in event and "ts" in event
+    ]
+    with _lock:
+        _events.extend(accepted)
+
+
+def reset() -> None:
+    """Drop all buffered events (tests, embedding applications)."""
+    with _lock:
+        _events.clear()
+
+
+def export_chrome_trace(path: Union[None, str, Path] = None) -> Optional[Path]:
+    """Write the buffered spans as Chrome trace-event JSON.
+
+    ``path=None`` uses the :func:`configure`-d output path; if neither
+    is set, nothing is written. The file loads directly in Perfetto
+    (https://ui.perfetto.dev) or ``chrome://tracing``. Events are sorted
+    by timestamp so the on-disk artifact is deterministic for a given
+    set of spans.
+    """
+    target = path if path is not None else _output_path
+    if target is None:
+        return None
+    sorted_events = sorted(events(), key=lambda e: (e["ts"], e.get("pid", 0)))
+    pids = sorted({e.get("pid", 0) for e in sorted_events})
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": f"repro pid {pid}"},
+        }
+        for pid in pids
+    ]
+    document = {
+        "traceEvents": metadata + sorted_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs.tracer"},
+    }
+    out = Path(target)
+    if out.parent != Path(""):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(document, sort_keys=True) + "\n")
+    return out
+
+
+def validate_chrome_trace(document: object) -> List[str]:
+    """Schema-check a Chrome trace document; returns a list of problems.
+
+    Used by the trace-schema tests and the CI observability smoke — an
+    empty list means the document is a well-formed trace.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return [f"document must be a JSON object, got {type(document).__name__}"]
+    trace_events = document.get("traceEvents")
+    if not isinstance(trace_events, list):
+        return ["traceEvents must be a list"]
+    for index, event in enumerate(trace_events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        ph = event.get("ph")
+        if ph == "X":
+            for key in ("ts", "dur", "tid"):
+                if not isinstance(event.get(key), (int, float)):
+                    problems.append(f"{where}: {key!r} must be a number")
+            if isinstance(event.get("dur"), (int, float)) and event["dur"] < 0:
+                problems.append(f"{where}: negative duration")
+        elif ph != "M":
+            problems.append(f"{where}: unexpected phase {ph!r}")
+    return problems

@@ -15,13 +15,30 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import tempfile
 from pathlib import Path
 from typing import Dict, Optional
 
-__all__ = ["ENV_BENCH_JSON", "record_benchmark"]
+__all__ = ["ENV_BENCH_JSON", "peak_rss_bytes", "record_benchmark"]
 
 ENV_BENCH_JSON = "REPRO_BENCH_JSON"
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """This process's peak resident set size in bytes, if measurable.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; normalized here to
+    bytes. Returns ``None`` on platforms without :mod:`resource`.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if peak <= 0:
+        return None
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
 
 
 def record_benchmark(
@@ -34,7 +51,12 @@ def record_benchmark(
 
     Returns the artifact path, or ``None`` when recording is disabled.
     ``None``-valued fields are omitted; extra keyword fields (trace
-    lengths, floor values) are stored verbatim.
+    lengths, floor values) are stored verbatim. Two observability fields
+    are stamped automatically: ``peak_rss_bytes`` (the process's peak
+    resident set at record time) and ``stage_seconds`` (the cumulative
+    per-stage wall-time split of :mod:`repro.util.stagetime`, when any
+    stage time was accrued) — so the CI bench artifact shows where the
+    time and memory of each bench went, not just its headline rate.
     """
     target = os.environ.get(ENV_BENCH_JSON, "").strip()
     if not target:
@@ -51,6 +73,14 @@ def record_benchmark(
         entry["ops_per_sec"] = ops_per_sec
     if speedup is not None:
         entry["speedup"] = speedup
+    peak = peak_rss_bytes()
+    if peak is not None:
+        entry["peak_rss_bytes"] = peak
+    from repro.util import stagetime
+
+    stages = {k: round(v, 6) for k, v in stagetime.totals().items() if v > 0.0}
+    if stages:
+        entry["stage_seconds"] = stages
     for key, value in extra.items():
         if value is not None:
             entry[key] = value

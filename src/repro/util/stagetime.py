@@ -10,11 +10,19 @@ helpers, so :func:`repro.exec.engine.run_jobs` can attribute exactly
 the time spent inside one batch to that batch's
 :class:`~repro.exec.engine.BatchReport`.
 
+Since the observability layer landed, this module is a *compat shim*
+over the metrics registry (:mod:`repro.obs.metrics`): each stage is the
+counter ``stage_seconds.<stage>`` in the process-wide registry, so
+stage time shows up in metric snapshots, run manifests, and the wire
+relays automatically — pool *and* SSH workers ship their deltas back to
+the coordinator as part of the generic metrics relay. The historical
+API (``add``/``totals``/``delta_since``/``absorb``/``timed``) is
+unchanged, and :func:`timed`/:func:`timed_iterator` additionally emit
+``stage.<name>`` spans when tracing (:mod:`repro.obs.tracer`) is
+enabled.
+
 Timings are observability only: they never feed results, cache keys, or
-control flow, and the accumulator deliberately mirrors the engine's
-backend counters — process-wide, cleared by tests, merged across worker
-processes by the pool backend (each worker returns its per-job delta
-alongside the result; SSH workers do not relay timings over the wire).
+control flow.
 """
 
 from __future__ import annotations
@@ -23,10 +31,13 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterable, Iterator, Tuple, TypeVar
 
+from repro.obs import metrics, tracer
+
 _T = TypeVar("_T")
 
 __all__ = [
     "STAGES",
+    "STAGE_PREFIX",
     "absorb",
     "absorb_into",
     "add",
@@ -43,12 +54,14 @@ __all__ = [
 #: these are the ones the batch path reports and the CLIs print).
 STAGES = ("generate", "decode", "kernel", "pricing")
 
-_totals: Dict[str, float] = {}
+#: Registry namespace: stage ``generate`` is counter
+#: ``stage_seconds.generate`` in :func:`repro.obs.metrics.registry`.
+STAGE_PREFIX = "stage_seconds."
 
 
 def add(stage: str, seconds: float) -> None:
     """Accrue ``seconds`` of wall time to ``stage``."""
-    _totals[stage] = _totals.get(stage, 0.0) + seconds
+    metrics.registry().counter(STAGE_PREFIX + stage).value += seconds
 
 
 def absorb_into(into: Dict[str, float], delta: Dict[str, float]) -> None:
@@ -59,23 +72,28 @@ def absorb_into(into: Dict[str, float], delta: Dict[str, float]) -> None:
 
 def absorb(delta: Dict[str, float]) -> None:
     """Merge another process's stage delta into this accumulator."""
-    absorb_into(_totals, delta)
+    for stage, seconds in delta.items():
+        add(stage, seconds)
 
 
 def totals() -> Dict[str, float]:
     """A copy of the accumulated ``stage -> seconds`` map."""
-    return dict(_totals)
+    return {
+        name[len(STAGE_PREFIX):]: counter.value
+        for name, counter in metrics.registry().counters.items()
+        if name.startswith(STAGE_PREFIX)
+    }
 
 
 def snapshot() -> Dict[str, float]:
     """Alias of :func:`totals` that reads as intent at call sites."""
-    return dict(_totals)
+    return totals()
 
 
 def delta_since(before: Dict[str, float]) -> Dict[str, float]:
     """Per-stage seconds accrued since ``before`` (a :func:`snapshot`)."""
     delta: Dict[str, float] = {}
-    for stage, seconds in _totals.items():
+    for stage, seconds in totals().items():
         gained = seconds - before.get(stage, 0.0)
         if gained > 0.0:
             delta[stage] = gained
@@ -84,17 +102,24 @@ def delta_since(before: Dict[str, float]) -> Dict[str, float]:
 
 def reset() -> None:
     """Zero the accumulator (tests, embedding applications)."""
-    _totals.clear()
+    metrics.registry().remove_prefixed(STAGE_PREFIX)
 
 
 @contextmanager
 def timed(stage: str) -> Iterator[None]:
-    """Accrue the wall time of the enclosed block to ``stage``."""
+    """Accrue the wall time of the enclosed block to ``stage``.
+
+    Also emits a ``stage.<name>`` span when tracing is enabled (the
+    disabled path costs one shared no-op context manager — nothing).
+    """
+    span = tracer.span("stage." + stage, category="stage")
+    span.__enter__()
     start = time.perf_counter()
     try:
         yield
     finally:
         add(stage, time.perf_counter() - start)
+        span.__exit__(None, None, None)
 
 
 def timed_iterator(stage: str, iterable: Iterable[_T]) -> Iterator[_T]:
@@ -103,16 +128,21 @@ def timed_iterator(stage: str, iterable: Iterable[_T]) -> Iterator[_T]:
     This is how lazy trace generation gets attributed: the chunk
     iterator does its work inside ``next()``, which this wrapper times,
     while the consumer's own time between pulls is charged elsewhere.
+    Each pull becomes its own ``stage.<name>`` span when tracing.
     """
     iterator = iter(iterable)
     while True:
+        span = tracer.span("stage." + stage, category="stage")
+        span.__enter__()
         start = time.perf_counter()
         try:
             item = next(iterator)
         except StopIteration:
             add(stage, time.perf_counter() - start)
+            span.__exit__(None, None, None)
             return
         add(stage, time.perf_counter() - start)
+        span.__exit__(None, None, None)
         yield item
 
 

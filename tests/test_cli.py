@@ -16,12 +16,16 @@ from repro.exec.stores import LayeredStore
 
 @pytest.fixture
 def restore_engine_state(preserve_cache_config):
-    """Restore the cache, worker, backend, and streaming configuration
-    ``main`` mutates through the execution flags."""
+    """Restore the cache, worker, backend, streaming, and tracer
+    configuration ``main`` mutates through the execution flags."""
+    from repro.obs import tracer
+
     yield
     set_default_workers(None)
     set_default_backend(None)
     stream.set_default_streaming(None)
+    tracer.configure(None)
+    tracer.reset()
 
 
 class TestParser:
@@ -380,6 +384,154 @@ class TestCacheSubcommand:
         assert excinfo.value.code == 2
         assert "only applies to 'repro cache'" in capsys.readouterr().err
 
-    def test_unknown_action_rejected(self):
-        with pytest.raises(SystemExit):
-            cli.build_parser().parse_args(["cache", "shrink"])
+    def test_unknown_action_rejected(self, capsys):
+        # The action positional is free-form (it doubles as the manifest
+        # path for 'repro report'), so cache-action validation happens
+        # in main() — still a usage error with exit code 2.
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["cache", "shrink"])
+        assert excinfo.value.code == 2
+        assert "unknown cache action" in capsys.readouterr().err
+
+
+class TestCacheJson:
+    def test_stats_json_round_trips(
+        self, tmp_path, capsys, restore_engine_state
+    ):
+        import json
+
+        assert (
+            cli.main(["cache", "stats", "--json", "--cache-dir", str(tmp_path)])
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == cli.CACHE_REPORT_SCHEMA
+        assert document["action"] == "stats"
+        (tier,) = document["tiers"]
+        assert tier["tier"] == "local"
+        assert tier["entries"] == 0
+        assert tier["total_bytes"] == 0
+
+    def test_verify_json_round_trips(
+        self, tmp_path, capsys, restore_engine_state
+    ):
+        import json
+
+        assert (
+            cli.main(["cache", "verify", "--json", "--cache-dir", str(tmp_path)])
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["action"] == "verify"
+        (tier,) = document["tiers"]
+        assert tier["checked"] == 0
+        assert tier["corrupt_removed"] == 0
+
+    def test_json_counts_real_entries(
+        self, tmp_path, capsys, restore_engine_state
+    ):
+        import json
+
+        from repro.cpu.simulator import clear_simulation_cache
+
+        clear_simulation_cache()  # force real simulation so results persist
+        cli.main(["figure7", "--quick", "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        cli.main(["cache", "stats", "--json", "--cache-dir", str(tmp_path)])
+        document = json.loads(capsys.readouterr().out)
+        assert document["tiers"][0]["entries"] >= 1
+
+    def test_json_output_is_canonical(self, tmp_path, capsys, restore_engine_state):
+        from repro.obs.manifest import to_json
+        import json
+
+        cli.main(["cache", "stats", "--json", "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert out == to_json(json.loads(out))
+
+
+class TestObservabilityFlags:
+    def test_trace_out_writes_valid_trace(
+        self, tmp_path, capsys, restore_engine_state
+    ):
+        import json
+
+        from repro.obs import tracer
+
+        trace_path = tmp_path / "trace.json"
+        assert (
+            cli.main(
+                [
+                    "table1",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                    "--trace-out",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        document = json.loads(trace_path.read_text())
+        assert tracer.validate_chrome_trace(document) == []
+        names = {e["name"] for e in document["traceEvents"]}
+        assert "cli.table1" in names
+
+    def test_run_manifest_written_and_renderable(
+        self, tmp_path, capsys, restore_engine_state
+    ):
+        from repro.obs import manifest
+
+        run_path = tmp_path / "run.json"
+        assert (
+            cli.main(
+                [
+                    "table1",
+                    "--quick",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                    "--run-manifest",
+                    str(run_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        document = manifest.load_manifest(run_path)
+        assert document["argv"][0] == "table1"
+        assert document["exit_code"] == 0
+        assert cli.main(["report", str(run_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Run manifest" in out
+        assert "command:      repro table1" in out
+
+    def test_trace_env_variable_configures_tracing(
+        self, tmp_path, capsys, monkeypatch, restore_engine_state
+    ):
+        from repro.obs import tracer
+
+        trace_path = tmp_path / "env-trace.json"
+        monkeypatch.setenv(tracer.ENV_TRACE_OUT, str(trace_path))
+        assert cli.main(["table1", "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert trace_path.exists()
+
+    def test_report_missing_file_exits_2(self, tmp_path, capsys):
+        assert cli.main(["report", str(tmp_path / "absent.json")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_report_non_manifest_exits_2(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}")
+        assert cli.main(["report", str(bogus)]) == 2
+        assert "not a valid run manifest" in capsys.readouterr().err
+
+    def test_report_without_path_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["report"])
+        assert excinfo.value.code == 2
+
+    def test_no_artifacts_without_flags(self, tmp_path, capsys, restore_engine_state):
+        from repro.obs import tracer
+
+        assert cli.main(["table1", "--cache-dir", str(tmp_path)]) == 0
+        assert tracer.output_path() is None
+        assert not tracer.is_enabled()

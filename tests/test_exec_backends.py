@@ -353,3 +353,182 @@ class TestWorkerStamping:
         assert stamped.kernel == "walk"
         # And the stamp does not change the cache identity.
         assert stamped.cache_key() == _job().cache_key()
+
+
+class TestProtocolNegotiation:
+    """Wire protocol v2: the hello/metrics relay and version skew."""
+
+    def test_ready_frame_advertises_proto(self):
+        assert worker_mod.ready_frame()["proto"] == worker_mod.PROTOCOL_VERSION
+
+    def test_env_pins_legacy_proto(self, monkeypatch):
+        monkeypatch.setenv(worker_mod.ENV_WORKER_PROTO, "1")
+        assert "proto" not in worker_mod.ready_frame()
+        assert worker_mod.protocol_version() == 1
+
+    def test_env_garbage_ignored(self, monkeypatch):
+        monkeypatch.setenv(worker_mod.ENV_WORKER_PROTO, "banana")
+        assert worker_mod.protocol_version() == worker_mod.PROTOCOL_VERSION
+
+    def test_validate_ready_returns_advertised_proto(self):
+        frame = worker_mod.ready_frame()
+        assert validate_ready(frame, "h") == worker_mod.PROTOCOL_VERSION
+        del frame["proto"]
+        assert validate_ready(frame, "h") == 1
+        frame["proto"] = "weird"
+        assert validate_ready(frame, "h") == 1
+
+    def test_hello_negotiates_metrics_frames(self):
+        from repro.obs import tracer
+
+        job = _job(instructions=600, warmup=100)
+        try:
+            code, frames = _drive_worker(
+                {"kind": "hello", "proto": 2, "metrics": True, "trace": True},
+                {"kind": "job", "id": 4, "job": encode_payload(job)},
+                {"kind": "shutdown"},
+            )
+        finally:
+            # serve() enabled tracing in-process per the hello.
+            tracer.configure(None)
+            tracer.reset()
+        assert code == 0
+        kinds = [f["kind"] for f in frames]
+        assert kinds == ["ready", "result", "metrics", "bye"]
+        relay = frames[2]
+        assert relay["id"] == 4
+        # The delta carries the worker's per-job latency histogram and
+        # stage counters -- the payload that closes the SSH telemetry gap.
+        assert relay["metrics"]["histograms"]["job_seconds"]["count"] == 1
+        assert any(
+            name.startswith("stage_seconds.")
+            for name in relay["metrics"]["counters"]
+        )
+        assert any(s.get("name") == "worker.job" for s in relay["spans"])
+
+    def test_hello_without_trace_relays_no_spans(self):
+        job = _job(instructions=600, warmup=100)
+        code, frames = _drive_worker(
+            {"kind": "hello", "proto": 2, "metrics": True, "trace": False},
+            {"kind": "job", "id": 0, "job": encode_payload(job)},
+            {"kind": "shutdown"},
+        )
+        relay = [f for f in frames if f["kind"] == "metrics"][0]
+        assert relay["spans"] == []
+
+    def test_no_hello_means_no_metrics_frames(self):
+        job = _job(instructions=600, warmup=100)
+        code, frames = _drive_worker(
+            {"kind": "job", "id": 0, "job": encode_payload(job)},
+            {"kind": "shutdown"},
+        )
+        assert [f["kind"] for f in frames] == ["ready", "result", "bye"]
+
+    def test_legacy_worker_treats_hello_as_unknown_frame(self, monkeypatch):
+        monkeypatch.setenv(worker_mod.ENV_WORKER_PROTO, "1")
+        code, frames = _drive_worker(
+            {"kind": "hello", "proto": 2, "metrics": True},
+            {"kind": "shutdown"},
+        )
+        # Exactly why the engine never sends hello to a v1 worker: the
+        # reply would be an error frame in place of a result.
+        assert [f["kind"] for f in frames] == ["ready", "error", "bye"]
+
+    def test_legacy_worker_batch_degrades_gracefully(
+        self, fresh_cache, monkeypatch
+    ):
+        """Version skew end-to-end: an old-proto worker still executes
+        the batch correctly; the coordinator just gets no telemetry."""
+        from repro.util import stagetime
+
+        monkeypatch.setenv(worker_mod.ENV_WORKER_PROTO, "1")
+        reset_telemetry()
+        stagetime.reset()
+        report = BatchReport()
+        results = run_jobs(
+            _jobs(), backend="ssh:localhost", use_cache=False, report=report
+        )
+        assert [r.workload_name for r in results] == ["gzip", "mcf", "mst"]
+        assert report.executed == 3
+        assert report.stage_seconds == {}  # nothing relayed
+        assert report.latency_quantiles == {}
+
+
+class TestObservabilityRelay:
+    """v2 workers relay stage seconds, latency, and spans end-to-end."""
+
+    def test_ssh_stage_report_matches_serial_shape(self, fresh_cache):
+        """The closed SSH telemetry gap: --verbose stage seconds after an
+        ssh:localhost run have the same shape as after a serial run."""
+        from repro.util import stagetime
+
+        reset_telemetry()
+        stagetime.reset()
+        serial_report = BatchReport()
+        run_jobs(_jobs(), backend="serial", use_cache=False, report=serial_report)
+        serial_stages = set(serial_report.stage_seconds)
+        assert serial_stages  # serial measures inline
+
+        ssh_report = BatchReport()
+        run_jobs(_jobs(), backend="ssh:localhost", use_cache=False, report=ssh_report)
+        assert set(ssh_report.stage_seconds) == serial_stages
+        assert all(v > 0 for v in ssh_report.stage_seconds.values())
+        # And the --verbose lines render both the same way.
+        lines = telemetry_lines()
+        assert any(line.startswith("[repro] stages serial:") for line in lines)
+        assert any(line.startswith("[repro] stages ssh:") for line in lines)
+
+    def test_ssh_batch_reports_latency_quantiles(self, fresh_cache):
+        report = BatchReport()
+        run_jobs(_jobs(), backend="ssh:localhost", use_cache=False, report=report)
+        assert set(report.latency_quantiles) == {"p50", "p90", "p99"}
+        assert 0 < report.latency_quantiles["p50"] <= report.latency_quantiles["p99"]
+
+    def test_serial_batch_reports_latency_quantiles(self, fresh_cache):
+        report = BatchReport()
+        run_jobs(_jobs(), backend="serial", use_cache=False, report=report)
+        assert report.latency_quantiles["p50"] > 0
+
+    def test_pool_workers_relay_metrics(self, fresh_cache):
+        from repro.util import stagetime
+
+        stagetime.reset()
+        report = BatchReport()
+        run_jobs(_jobs(), backend="pool:2", use_cache=False, report=report)
+        assert report.stage_seconds  # relayed from pool workers
+        assert report.latency_quantiles["p50"] > 0
+
+    def test_warm_batch_has_no_latency(self, fresh_cache):
+        run_jobs([_job()], backend="serial")
+        report = BatchReport()
+        run_jobs([_job()], backend="serial", report=report)
+        assert report.cache_hits == 1
+        assert report.latency_quantiles == {}
+
+    def test_ssh_relays_worker_spans_when_tracing(self, fresh_cache):
+        import os
+
+        from repro.obs import tracer
+
+        tracer.reset()
+        tracer.enable(True)
+        try:
+            run_jobs(_jobs(), backend="ssh:localhost", use_cache=False)
+            events = tracer.events()
+        finally:
+            tracer.configure(None)
+            tracer.reset()
+        worker_spans = [e for e in events if e["name"] == "worker.job"]
+        assert len(worker_spans) == 3
+        # The spans really came from the worker process.
+        assert all(e["pid"] != os.getpid() for e in worker_spans)
+        # Coordinator-side spans share the same merged buffer.
+        assert any(e["name"] == "engine.run_jobs" for e in events)
+        assert any(e["name"] == "backend.submit" for e in events)
+
+    def test_no_span_collection_when_disabled(self, fresh_cache):
+        from repro.obs import tracer
+
+        tracer.reset()
+        run_jobs(_jobs(), backend="ssh:localhost", use_cache=False)
+        assert tracer.events() == []

@@ -1,0 +1,236 @@
+"""The span tracer: disabled fast path, nesting, export, and validation."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    """Every test starts disabled with an empty buffer and no out path."""
+    tracer.configure(None)
+    tracer.reset()
+    yield
+    tracer.configure(None)
+    tracer.reset()
+
+
+class TestDisabledFastPath:
+    def test_disabled_by_default(self):
+        assert not tracer.is_enabled()
+
+    def test_span_is_shared_null_singleton_when_disabled(self):
+        # The zero-allocation guarantee: every disabled span() call
+        # returns the same object, so hot-path instrumentation costs a
+        # dict-free function call and nothing else.
+        assert tracer.span("a") is tracer.span("b")
+        assert tracer.span("a", category="x", attr=1) is tracer.span("a")
+
+    def test_null_span_records_nothing(self):
+        with tracer.span("invisible") as span:
+            span.set(key="value")
+        assert tracer.events() == []
+
+    def test_null_span_does_not_swallow_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with tracer.span("invisible"):
+                raise RuntimeError("boom")
+
+
+class TestSpanCollection:
+    def test_single_span_event_shape(self):
+        tracer.enable(True)
+        with tracer.span("work", category="test", jobs=3):
+            pass
+        (event,) = tracer.events()
+        assert event["name"] == "work"
+        assert event["cat"] == "test"
+        assert event["ph"] == "X"
+        assert event["dur"] >= 0
+        assert event["args"]["jobs"] == 3
+        assert event["args"]["span_id"] >= 1
+        assert "parent_id" not in event["args"]  # top level
+
+    def test_nesting_links_parent_ids(self):
+        tracer.enable(True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        by_name = {e["name"]: e for e in tracer.events()}
+        outer_id = by_name["outer"]["args"]["span_id"]
+        assert by_name["inner"]["args"]["parent_id"] == outer_id
+        assert by_name["sibling"]["args"]["parent_id"] == outer_id
+        # Distinct span ids throughout.
+        ids = [e["args"]["span_id"] for e in tracer.events()]
+        assert len(set(ids)) == len(ids)
+
+    def test_nesting_restored_after_inner_exits(self):
+        tracer.enable(True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("after-inner"):
+                pass
+        by_name = {e["name"]: e for e in tracer.events()}
+        assert (
+            by_name["after-inner"]["args"]["parent_id"]
+            == by_name["outer"]["args"]["span_id"]
+        )
+
+    def test_children_close_before_parents_in_buffer(self):
+        tracer.enable(True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [e["name"] for e in tracer.events()]
+        assert names == ["inner", "outer"]  # completion order
+        by_name = {e["name"]: e for e in tracer.events()}
+        # Time containment: the parent interval covers the child's.
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert outer["ts"] <= inner["ts"]
+        assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+
+    def test_exception_annotates_error(self):
+        tracer.enable(True)
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("nope")
+        (event,) = tracer.events()
+        assert event["args"]["error"] == "ValueError"
+
+    def test_set_attaches_attributes(self):
+        tracer.enable(True)
+        with tracer.span("work") as span:
+            span.set(found=7)
+        (event,) = tracer.events()
+        assert event["args"]["found"] == 7
+
+    def test_threads_get_independent_parents(self):
+        tracer.enable(True)
+        done = threading.Event()
+
+        def other_thread():
+            with tracer.span("thread-root"):
+                pass
+            done.set()
+
+        with tracer.span("main-root"):
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+        assert done.wait(5)
+        by_name = {e["name"]: e for e in tracer.events()}
+        # A fresh thread has no inherited active span.
+        assert "parent_id" not in by_name["thread-root"]["args"]
+
+
+class TestDrainAbsorb:
+    def test_drain_empties_the_buffer(self):
+        tracer.enable(True)
+        with tracer.span("a"):
+            pass
+        drained = tracer.drain()
+        assert len(drained) == 1
+        assert tracer.events() == []
+
+    def test_absorb_merges_foreign_events(self):
+        tracer.enable(True)
+        with tracer.span("local"):
+            pass
+        tracer.absorb([{"name": "remote", "ph": "X", "ts": 1.0, "dur": 2.0,
+                        "pid": 99999, "tid": 1, "cat": "job", "args": {}}])
+        names = {e["name"] for e in tracer.events()}
+        assert names == {"local", "remote"}
+
+    def test_absorb_drops_malformed_payloads(self):
+        tracer.absorb(["not-a-dict", {"no": "name"}, {"name": "x"}, None])
+        assert tracer.events() == []  # none had both name and ts
+
+    def test_absorb_works_while_disabled(self):
+        # The coordinator may have tracing off while a worker relays.
+        tracer.absorb([{"name": "remote", "ts": 5.0}])
+        assert len(tracer.events()) == 1
+
+
+class TestExport:
+    def test_export_writes_valid_chrome_trace(self, tmp_path):
+        tracer.enable(True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        out = tracer.export_chrome_trace(tmp_path / "trace.json")
+        document = json.loads(out.read_text())
+        assert tracer.validate_chrome_trace(document) == []
+        names = [e["name"] for e in document["traceEvents"]]
+        assert "process_name" in names  # metadata event present
+        assert "outer" in names and "inner" in names
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_export_sorts_events_by_timestamp(self, tmp_path):
+        tracer.absorb([
+            {"name": "late", "ph": "X", "ts": 2e6, "dur": 1.0, "pid": 1, "tid": 1},
+            {"name": "early", "ph": "X", "ts": 1e6, "dur": 1.0, "pid": 1, "tid": 1},
+        ])
+        document = json.loads(
+            tracer.export_chrome_trace(tmp_path / "t.json").read_text()
+        )
+        spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert [e["name"] for e in spans] == ["early", "late"]
+
+    def test_export_uses_configured_path(self, tmp_path):
+        target = tmp_path / "configured.json"
+        tracer.configure(target)
+        assert tracer.is_enabled()
+        assert tracer.output_path() == str(target)
+        with tracer.span("x"):
+            pass
+        assert tracer.export_chrome_trace() == target
+        assert target.exists()
+
+    def test_export_without_any_path_is_noop(self):
+        assert tracer.export_chrome_trace() is None
+
+    def test_export_creates_parent_directories(self, tmp_path):
+        out = tracer.export_chrome_trace(tmp_path / "deep" / "dir" / "t.json")
+        assert out.exists()
+
+    def test_configure_none_disables(self, tmp_path):
+        tracer.configure(tmp_path / "t.json")
+        tracer.configure(None)
+        assert not tracer.is_enabled()
+        assert tracer.output_path() is None
+
+
+class TestValidateChromeTrace:
+    def test_rejects_non_object(self):
+        assert tracer.validate_chrome_trace([1, 2]) != []
+        assert tracer.validate_chrome_trace("nope") != []
+
+    def test_rejects_missing_trace_events(self):
+        assert tracer.validate_chrome_trace({}) == ["traceEvents must be a list"]
+
+    def test_rejects_bad_events(self):
+        document = {"traceEvents": [
+            {"ph": "X", "pid": 1},                                  # no name
+            {"name": "a", "ph": "X", "pid": 1, "tid": 1,
+             "ts": 0.0, "dur": -5.0},                               # negative dur
+            {"name": "b", "ph": "Q", "pid": 1},                     # unknown phase
+        ]}
+        problems = tracer.validate_chrome_trace(document)
+        assert any("missing 'name'" in p for p in problems)
+        assert any("negative duration" in p for p in problems)
+        assert any("unexpected phase" in p for p in problems)
+
+    def test_accepts_exported_document(self, tmp_path):
+        tracer.enable(True)
+        with tracer.span("ok"):
+            pass
+        document = json.loads(
+            tracer.export_chrome_trace(tmp_path / "t.json").read_text()
+        )
+        assert tracer.validate_chrome_trace(document) == []

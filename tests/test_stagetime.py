@@ -136,6 +136,16 @@ class TestBenchJson:
         monkeypatch.delenv(ENV_BENCH_JSON, raising=False)
         assert record_benchmark("x", ops_per_sec=1.0) is None
 
+    @staticmethod
+    def _explicit(entry):
+        """The caller-provided fields of a bench entry (the auto-stamped
+        peak_rss_bytes/stage_seconds observability fields removed)."""
+        return {
+            k: v
+            for k, v in entry.items()
+            if k not in ("peak_rss_bytes", "stage_seconds")
+        }
+
     def test_records_and_merges(self, tmp_path, monkeypatch):
         target = tmp_path / "bench.json"
         monkeypatch.setenv(ENV_BENCH_JSON, str(target))
@@ -143,8 +153,33 @@ class TestBenchJson:
         record_benchmark("beta", speedup=10.0)
         record_benchmark("alpha", ops_per_sec=200.0)  # overwrite one entry
         data = json.loads(target.read_text())
-        assert data["alpha"] == {"ops_per_sec": 200.0}
-        assert data["beta"] == {"speedup": 10.0}
+        assert self._explicit(data["alpha"]) == {"ops_per_sec": 200.0}
+        assert self._explicit(data["beta"]) == {"speedup": 10.0}
+
+    def test_stamps_peak_rss(self, tmp_path, monkeypatch):
+        target = tmp_path / "bench.json"
+        monkeypatch.setenv(ENV_BENCH_JSON, str(target))
+        record_benchmark("alpha", ops_per_sec=100.0)
+        entry = json.loads(target.read_text())["alpha"]
+        # A Python process is at least a few MiB resident on any
+        # platform where resource.getrusage works.
+        assert entry["peak_rss_bytes"] > 1024 * 1024
+
+    def test_stamps_stage_seconds_when_accrued(self, tmp_path, monkeypatch):
+        from repro.util import stagetime
+
+        target = tmp_path / "bench.json"
+        monkeypatch.setenv(ENV_BENCH_JSON, str(target))
+        stagetime.reset()
+        try:
+            record_benchmark("cold", ops_per_sec=1.0)
+            stagetime.add("kernel", 1.25)
+            record_benchmark("warm", ops_per_sec=1.0)
+        finally:
+            stagetime.reset()
+        data = json.loads(target.read_text())
+        assert "stage_seconds" not in data["cold"]
+        assert data["warm"]["stage_seconds"] == {"kernel": 1.25}
 
     def test_tolerates_corrupt_existing_file(self, tmp_path, monkeypatch):
         target = tmp_path / "bench.json"
@@ -152,11 +187,15 @@ class TestBenchJson:
         monkeypatch.setenv(ENV_BENCH_JSON, str(target))
         path = record_benchmark("gamma", ops_per_sec=1.0)
         assert path == target
-        assert json.loads(target.read_text()) == {"gamma": {"ops_per_sec": 1.0}}
+        data = json.loads(target.read_text())
+        assert self._explicit(data["gamma"]) == {"ops_per_sec": 1.0}
 
     def test_creates_parent_directories(self, tmp_path, monkeypatch):
         target = tmp_path / "deep" / "nested" / "bench.json"
         monkeypatch.setenv(ENV_BENCH_JSON, str(target))
         record_benchmark("delta", speedup=2.0, note="extra fields kept")
         data = json.loads(target.read_text())
-        assert data["delta"] == {"speedup": 2.0, "note": "extra fields kept"}
+        assert self._explicit(data["delta"]) == {
+            "speedup": 2.0,
+            "note": "extra fields kept",
+        }
