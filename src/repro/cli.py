@@ -55,6 +55,14 @@ Perfetto; ``--run-manifest FILE`` writes a JSON provenance artifact
 (argv, model fingerprint, backend/store config, cache stats, counters,
 latency quantiles, metrics snapshot) that ``repro report FILE`` renders
 for humans.
+
+``repro serve`` (``docs/serving.md``) runs the long-running evaluation
+service: an asyncio HTTP/JSON server that answers sweep/perf/robustness
+/simulate requests from warm caches, coalesces duplicate concurrent
+requests onto one execution, and folds concurrent cache misses into
+single engine batches. ``--server URL`` turns the sweep/perf/robustness
+subcommands into thin clients of such a service; their stdout stays
+byte-identical to a local run.
 """
 
 from __future__ import annotations
@@ -85,6 +93,7 @@ from repro.experiments import (
 from repro.experiments.common import DEFAULT_SCALE, QUICK_SCALE, ExperimentScale
 from repro.scenarios import family_names, write_catalog
 from repro.scenarios.space import PHASED_FAMILY
+from repro.serve import service as serve_defaults
 
 
 def _registry(scale: ExperimentScale) -> Dict[str, Callable[[], str]]:
@@ -118,12 +127,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(_registry(DEFAULT_SCALE))
-        + ["perf", "robustness", "sweep", "all", "cache", "report", "list"],
+        + ["perf", "robustness", "sweep", "all", "cache", "report", "serve", "list"],
         help="experiment to run, 'sweep' for a policy-grid sweep, 'perf' "
         "for the closed-loop energy-vs-slowdown study, 'robustness' for "
         "the sampled-scenario policy-robustness study, 'all' for "
         "everything, 'cache' to inspect/maintain the result store, "
-        "'report' to render a --run-manifest file, 'list' to enumerate",
+        "'report' to render a --run-manifest file, 'serve' to run the "
+        "evaluation service, 'list' to enumerate",
     )
     parser.add_argument(
         "action",
@@ -234,6 +244,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the sampled scenario catalog (JSON) to this path",
+    )
+    serve_group = parser.add_argument_group("serving options")
+    serve_group.add_argument(
+        "--serve-host",
+        default=serve_defaults.DEFAULT_HOST,
+        metavar="HOST",
+        help="'repro serve': interface to bind (default: %(default)s)",
+    )
+    serve_group.add_argument(
+        "--port",
+        type=int,
+        default=serve_defaults.DEFAULT_PORT,
+        metavar="PORT",
+        help="'repro serve': TCP port to listen on; 0 picks a free port "
+        "(default: %(default)s)",
+    )
+    serve_group.add_argument(
+        "--batch-window",
+        type=float,
+        default=serve_defaults.DEFAULT_BATCH_WINDOW,
+        metavar="SECONDS",
+        help="'repro serve': how long cache-miss simulations wait for "
+        "companion requests before the folded batch is submitted "
+        "(default: %(default)s)",
+    )
+    serve_group.add_argument(
+        "--server",
+        default=None,
+        metavar="URL",
+        help="run sweep/perf/robustness on a 'repro serve' instance "
+        "instead of locally (e.g. http://fleet-head:8765); output is "
+        "byte-identical to the local run",
     )
     cache_group = parser.add_argument_group("cache maintenance options")
     cache_group.add_argument(
@@ -406,9 +448,49 @@ def _run_report(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
     return 0
 
 
+#: Subcommands the ``--server URL`` thin-client mode can run remotely.
+SERVABLE = ("sweep", "perf", "robustness")
+
+
+def _run_remote(args: argparse.Namespace) -> int:
+    """Thin-client mode: ship the request to a ``repro serve`` instance."""
+    from repro.serve import client, payload_from_args
+
+    def progress(event):
+        name = event.get("event")
+        if name == "coalesced":
+            print("[repro] coalesced onto an in-flight request", file=sys.stderr)
+        elif name == "warm":
+            print(f"[repro] warm: all {event['jobs']} simulations cached", file=sys.stderr)
+        elif name == "scheduled":
+            print(
+                f"[repro] scheduled: {event['pending']} of {event['jobs']} "
+                "simulations pending",
+                file=sys.stderr,
+            )
+
+    try:
+        result = client.run_remote(
+            args.server, payload_from_args(args.experiment, args), on_event=progress
+        )
+    except client.ServeClientError as error:
+        print(f"repro --server: {error}", file=sys.stderr)
+        return 2
+    print(result["text"])
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     scale = QUICK_SCALE if args.quick else DEFAULT_SCALE
     registry = _registry(scale)
+    if args.experiment == "serve":
+        from repro.serve.service import run_service
+
+        return run_service(
+            host=args.serve_host, port=args.port, batch_window=args.batch_window
+        )
+    if args.server is not None:
+        return _run_remote(args)
     if args.experiment == "cache":
         return _run_cache(args)
     if args.experiment == "all":
@@ -429,6 +511,17 @@ def _dispatch(args: argparse.Namespace) -> int:
 
 def _validate_action(args: argparse.Namespace, parser: argparse.ArgumentParser) -> None:
     """Per-subcommand validation of the free-form ``action`` positional."""
+    if args.server is not None:
+        if args.experiment not in SERVABLE:
+            parser.error(
+                f"--server only applies to {', '.join(SERVABLE)}, "
+                f"not {args.experiment!r}"
+            )
+        if args.catalog is not None:
+            parser.error(
+                "--catalog writes the locally-sampled scenarios; "
+                "it is not supported with --server"
+            )
     if args.experiment == "cache":
         if args.action not in (None, "stats", "verify", "gc"):
             parser.error(

@@ -42,7 +42,17 @@ import sys
 import threading
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Protocol, Sequence, Tuple, Union
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.cpu.simulator import SimulationResult
 from repro.exec.hashing import CACHE_SCHEMA_VERSION, model_fingerprint
@@ -285,10 +295,13 @@ class SSHBackend:
         host: str,
         shard: Sequence[Tuple[int, SimulationJob]],
         out_queue: "queue.Queue",
+        abort: threading.Event,
+        procs: Dict[str, subprocess.Popen],
     ) -> None:
         proc = None
         try:
             proc = self._spawn(host)
+            procs[host] = proc
             proto = validate_ready(read_frame(proc.stdout), host)
             relay = proto >= 2
             if relay:
@@ -305,6 +318,12 @@ class SSHBackend:
                     },
                 )
             for index, job in shard:
+                # A sibling shard failed (or the submitter abandoned the
+                # batch): the whole batch's results will be discarded, so
+                # stop feeding this worker instead of burning through the
+                # rest of the shard.
+                if abort.is_set():
+                    break
                 write_frame(
                     proc.stdin,
                     {"kind": "job", "id": index, "job": encode_payload(job)},
@@ -362,37 +381,73 @@ class SSHBackend:
         for index, job in enumerate(jobs):
             shards[index % len(hosts)].append((index, job))
         out_queue: "queue.Queue" = queue.Queue()
+        # Set on first failure — and by the finally clause when the
+        # consumer abandons this generator — so sibling shards stop
+        # between jobs instead of executing results nobody will read.
+        abort = threading.Event()
+        # host -> worker process, registered by each shard thread so the
+        # submitter can reap every spawned worker even if its thread is
+        # still blocked on an in-flight job.
+        procs: Dict[str, subprocess.Popen] = {}
         threads = [
             threading.Thread(
                 target=self._serve_shard,
-                args=(host, shard, out_queue),
+                args=(host, shard, out_queue, abort, procs),
                 daemon=True,
             )
             for host, shard in zip(hosts, shards)
         ]
         for thread in threads:
             thread.start()
-        finished = 0
-        error: Optional[Exception] = None
-        while finished < len(threads):
-            kind, payload = out_queue.get()
-            if kind == "result":
-                if error is None:
-                    yield payload
-            elif kind == "metrics":
-                # Absorbed here, in the single-threaded drain loop, so
-                # shard threads never touch the registry concurrently.
-                obs_metrics.registry().absorb(payload.get("metrics") or {})
-                tracer.absorb(payload.get("spans") or [])
-            elif kind == "error":
-                if error is None:
-                    error = payload
-            else:
-                finished += 1
-        for thread in threads:
-            thread.join()
-        if error is not None:
-            raise error
+        try:
+            finished = 0
+            error: Optional[Exception] = None
+            while finished < len(threads):
+                kind, payload = out_queue.get()
+                if kind == "result":
+                    if error is None:
+                        yield payload
+                elif kind == "metrics":
+                    # Absorbed here, in the single-threaded drain loop, so
+                    # shard threads never touch the registry concurrently.
+                    obs_metrics.registry().absorb(payload.get("metrics") or {})
+                    tracer.absorb(payload.get("spans") or [])
+                elif kind == "error":
+                    if error is None:
+                        error = payload
+                        abort.set()
+                else:
+                    finished += 1
+            for thread in threads:
+                thread.join()
+            if error is not None:
+                raise error
+        finally:
+            # Runs on normal completion, on failure, and — the case that
+            # used to leak daemon threads and worker subprocesses — on
+            # GeneratorExit when the consumer stops iterating mid-batch.
+            # Killing the workers unblocks any shard thread waiting in
+            # read_frame on an in-flight job.
+            abort.set()
+            for proc in list(procs.values()):
+                if proc.poll() is None:
+                    try:
+                        proc.kill()
+                    except OSError:
+                        pass
+            for thread in threads:
+                thread.join(timeout=30)
+            for proc in list(procs.values()):
+                try:
+                    proc.wait(timeout=30)
+                except (OSError, subprocess.TimeoutExpired):  # pragma: no cover
+                    pass
+                for stream in (proc.stdin, proc.stdout):
+                    if stream is not None:
+                        try:
+                            stream.close()
+                        except OSError:  # pragma: no cover - already torn
+                            pass
 
     def __repr__(self) -> str:
         return f"SSHBackend(hosts={self.hosts!r})"

@@ -27,6 +27,7 @@ both per batch.
 from __future__ import annotations
 
 import os
+import sys
 from dataclasses import dataclass, field, fields
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
@@ -69,9 +70,20 @@ def resolve_workers(workers: Optional[int] = None) -> int:
         workers = _default_workers
     if workers is None:
         env = os.environ.get(ENV_JOBS, "")
+        text = env.strip()
         # isdigit() admits 0, which means "all cores" exactly like
-        # --jobs 0; malformed values fall back to serial.
-        workers = int(env) if env.isdigit() else 1
+        # --jobs 0. Malformed values fall back to serial — loudly, so a
+        # typo'd REPRO_JOBS=-2 cannot silently run single-worker.
+        if text.isdigit():
+            workers = int(text)
+        else:
+            if text:
+                print(
+                    f"[repro] ignoring {ENV_JOBS}={env!r}: expected a "
+                    "non-negative integer; running serial",
+                    file=sys.stderr,
+                )
+            workers = 1
     if workers == 0:
         workers = os.cpu_count() or 1
     if workers < 0:

@@ -203,7 +203,8 @@ def parse_store_spec(
 
     ``local`` | ``shared:DIR`` | ``layered:DIR`` — ``DIR`` is the shared
     directory; the local tier always lives at ``cache_dir`` (or the
-    ``$REPRO_CACHE_DIR`` / ``~/.cache/repro`` default).
+    ``$REPRO_CACHE_DIR`` / ``~/.cache/repro`` default). ``~`` in either
+    directory expands to the user's home, exactly like ``--cache-dir``.
     """
     text = (spec or "local").strip()
     head, sep, rest = text.partition(":")
@@ -211,9 +212,11 @@ def parse_store_spec(
     if head == "local" and not sep:
         return ResultCache(local_dir)
     if head == "shared" and rest:
-        return SharedDirectoryStore(rest)
+        return SharedDirectoryStore(Path(rest).expanduser())
     if head == "layered" and rest:
-        return LayeredStore(ResultCache(local_dir), SharedDirectoryStore(rest))
+        return LayeredStore(
+            ResultCache(local_dir), SharedDirectoryStore(Path(rest).expanduser())
+        )
     raise ValueError(
         f"unknown store spec {spec!r}; expected 'local', 'shared:DIR', or 'layered:DIR'"
     )

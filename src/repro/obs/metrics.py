@@ -236,6 +236,18 @@ class MetricsRegistry:
         their current values (last write wins across a merge). Unchanged
         instruments are omitted, so an idle worker relays ``{}``-shaped
         deltas.
+
+        Histogram ``min``/``max`` deliberately do NOT subtract: a delta
+        carries the *cumulative* extremes, because "the smallest value
+        observed inside the window" is not recoverable from two
+        snapshots. The contract is conservative, never wrong: a delta's
+        ``min`` is <= every observation in the window and its ``max``
+        is >= every one, and :meth:`absorb` merges them with min()/max()
+        so absorbed extremes can only widen. Quantile estimates over
+        merged deltas (the serve layer's per-request latency reports)
+        therefore clamp to a range that always contains the window's
+        true extremes — they may be looser than the window, never
+        tighter.
         """
         now = self.snapshot()
         delta: dict = {"counters": {}, "gauges": {}, "histograms": {}}

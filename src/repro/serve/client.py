@@ -1,0 +1,125 @@
+"""Thin stdlib client for the ``repro serve`` evaluation service.
+
+:func:`run_remote` POSTs a :mod:`repro.serve.schema` payload to a
+server's ``/v1/run`` and consumes the streamed ndjson events
+(:mod:`http.client` decodes the chunked transfer transparently),
+returning the final ``result`` event — the rendered report text plus
+execution accounting. The CLI's ``--server URL`` mode is exactly this
+call followed by ``print(result["text"])``, which is why remote output
+is byte-identical to a local run.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.parse
+from typing import Any, Callable, Dict, Optional
+
+DEFAULT_TIMEOUT = 3600.0
+
+
+class ServeClientError(RuntimeError):
+    """The server rejected the request or the stream ended abnormally."""
+
+
+def _split_url(server: str) -> urllib.parse.SplitResult:
+    text = server if "//" in server else "http://" + server
+    parsed = urllib.parse.urlsplit(text)
+    if parsed.scheme not in ("", "http"):
+        raise ServeClientError(
+            f"only http:// servers are supported, got {server!r}"
+        )
+    if not parsed.hostname:
+        raise ServeClientError(f"no host in server URL {server!r}")
+    return parsed
+
+
+def _request(
+    server: str, method: str, path: str, body: Optional[bytes], timeout: float
+) -> http.client.HTTPResponse:
+    parsed = _split_url(server)
+    connection = http.client.HTTPConnection(
+        parsed.hostname, parsed.port or 80, timeout=timeout
+    )
+    try:
+        connection.request(
+            method,
+            path,
+            body=body,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        return connection.getresponse()
+    except (OSError, http.client.HTTPException) as error:
+        connection.close()
+        raise ServeClientError(f"cannot reach {server}: {error}") from error
+
+
+def _json_body(response: http.client.HTTPResponse) -> Dict[str, Any]:
+    try:
+        return json.loads(response.read().decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return {}
+
+
+def health(server: str, timeout: float = 10.0) -> Dict[str, Any]:
+    """The server's ``/healthz`` document (fingerprint, schema, ok)."""
+    response = _request(server, "GET", "/healthz", None, timeout)
+    try:
+        return _json_body(response)
+    finally:
+        response.close()
+
+
+def metrics_snapshot(server: str, timeout: float = 10.0) -> Dict[str, Any]:
+    """The server's metrics-registry snapshot (``/v1/metrics``)."""
+    response = _request(server, "GET", "/v1/metrics", None, timeout)
+    try:
+        return _json_body(response)
+    finally:
+        response.close()
+
+
+def run_remote(
+    server: str,
+    payload: Dict[str, Any],
+    timeout: float = DEFAULT_TIMEOUT,
+    on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> Dict[str, Any]:
+    """Execute ``payload`` on ``server``; return the final result event.
+
+    ``on_event`` (when given) observes every streamed progress event —
+    ``accepted``, ``coalesced``/``warm``/``scheduled`` — before the
+    result arrives. Raises :class:`ServeClientError` on a non-200
+    status, a streamed ``error`` event, or a stream that ends without a
+    result.
+    """
+    body = json.dumps(payload).encode("utf-8")
+    response = _request(server, "POST", "/v1/run", body, timeout)
+    try:
+        if response.status != 200:
+            detail = _json_body(response).get("error", f"HTTP {response.status}")
+            raise ServeClientError(f"server rejected request: {detail}")
+        result: Optional[Dict[str, Any]] = None
+        for raw in response:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as error:
+                raise ServeClientError(
+                    f"malformed event from server: {line[:120]!r}"
+                ) from error
+            if on_event is not None:
+                on_event(event)
+            name = event.get("event")
+            if name == "error":
+                raise ServeClientError(event.get("error", "unknown server error"))
+            if name == "result":
+                result = event
+        if result is None:
+            raise ServeClientError("server closed the stream without a result")
+        return result
+    finally:
+        response.close()

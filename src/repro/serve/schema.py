@@ -1,0 +1,466 @@
+"""The evaluation service's request schema and normalization.
+
+A serve request is JSON::
+
+    {"kind": "sweep" | "perf" | "robustness" | "simulate",
+     "quick": false,
+     "params": {...}}
+
+:func:`build_request` validates the payload and normalizes it into a
+:class:`ServeRequest` — the same defaults, grid parsing, and name
+splitting the direct CLI applies, so a request built from CLI flags
+renders byte-identical text on the server. Normalization also gives
+every request a canonical identity: :attr:`ServeRequest.key` hashes the
+normalized parameters together with the sorted cache keys of every
+simulation the request needs (which already fold in the model
+fingerprint), so two requests coalesce exactly when they would hit the
+same cache entries and render the same report.
+
+``params`` by kind (all optional unless noted):
+
+* ``sweep`` — ``p_grid``/``alpha_grid`` (grid spec string or number
+  list), ``policies``, ``benchmarks`` (comma string or list).
+* ``perf`` — ``p_grid``, ``policies``, ``alpha``, ``wakeup_latencies``,
+  ``benchmarks``.
+* ``robustness`` — ``scenarios``, ``scenario_seed``, ``families``,
+  ``policies``, ``p``, ``alpha``, ``instructions``.
+* ``simulate`` — ``benchmark`` (required), ``instructions`` (required),
+  ``warmup``, ``seed``, ``fus``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cpu.config import MachineConfig
+from repro.cpu.simulator import cached_result
+from repro.cpu.workloads import benchmark_names, get_benchmark
+from repro.exec.hashing import canonical_key
+from repro.exec.jobs import SimulationJob
+from repro.experiments import perf_impact, robustness, sweep
+from repro.experiments.common import DEFAULT_SCALE, QUICK_SCALE, ExperimentScale
+
+#: Schema tag stamped into every canonical request key and health reply.
+SERVE_SCHEMA = "repro.serve/1"
+
+KINDS = ("sweep", "perf", "robustness", "simulate")
+
+
+class RequestError(ValueError):
+    """A serve payload that cannot be normalized into a request."""
+
+
+def _names(value: Any, what: str) -> Tuple[str, ...]:
+    """A comma string or list of strings -> a tuple of names."""
+    if value is None:
+        return ()
+    if isinstance(value, str):
+        return tuple(token.strip() for token in value.split(",") if token.strip())
+    if isinstance(value, (list, tuple)):
+        if not all(isinstance(item, str) for item in value):
+            raise RequestError(f"{what} must be strings, got {value!r}")
+        return tuple(value)
+    raise RequestError(f"{what} must be a comma string or list, got {value!r}")
+
+
+def _grid(value: Any, what: str) -> Tuple[float, ...]:
+    """A grid spec string ('lo:hi:n' / comma list) or number list."""
+    if isinstance(value, str):
+        try:
+            return sweep.parse_grid(value)
+        except ValueError as error:
+            raise RequestError(f"{what}: {error}") from None
+    if isinstance(value, (list, tuple)) and value:
+        try:
+            return tuple(float(item) for item in value)
+        except (TypeError, ValueError):
+            raise RequestError(f"{what} must be numbers, got {value!r}") from None
+    raise RequestError(f"{what} must be a grid spec or number list, got {value!r}")
+
+
+def _number(value: Any, what: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise RequestError(f"{what} must be a number, got {value!r}")
+    return float(value)
+
+
+def _integer(value: Any, what: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RequestError(f"{what} must be an integer, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One normalized evaluation request.
+
+    ``params`` is the fully-defaulted, JSON-ready parameter set;
+    ``key`` is the canonical coalescing identity. :meth:`jobs` and
+    :meth:`render` are the two halves of execution: the simulations the
+    request needs (for warm probing and batch folding), and the exact
+    text the equivalent direct CLI invocation would print.
+    """
+
+    kind: str
+    quick: bool
+    params: Mapping[str, Any] = field(hash=False)
+    key: str
+
+    @property
+    def scale(self) -> ExperimentScale:
+        return QUICK_SCALE if self.quick else DEFAULT_SCALE
+
+    def jobs(self) -> List[SimulationJob]:
+        return _JOB_BUILDERS[self.kind](self.params, self.scale)
+
+    def render(self) -> str:
+        return _RENDERERS[self.kind](self.params, self.scale)
+
+
+def job_is_cached(job: SimulationJob) -> bool:
+    """Whether ``job`` would be a pure cache read (memo or store)."""
+    return (
+        cached_result(
+            job.profile,
+            job.num_instructions,
+            config=job.config,
+            seed=job.seed,
+            warmup_instructions=job.warmup_instructions,
+            sleep=job.sleep,
+            record_sequences=job.record_sequences,
+        )
+        is not None
+    )
+
+
+# --- sweep ---------------------------------------------------------------
+
+
+def _sweep_params(params: Mapping[str, Any]) -> Dict[str, Any]:
+    return {
+        "p_values": list(
+            _grid(params.get("p_grid") or sweep.DEFAULT_P_SPEC, "p_grid")
+        ),
+        "alphas": list(
+            _grid(params.get("alpha_grid") or sweep.DEFAULT_ALPHA_SPEC, "alpha_grid")
+        ),
+        "policies": list(
+            _names(params.get("policies"), "policies") or sweep.DEFAULT_POLICIES
+        ),
+        "benchmarks": list(_names(params.get("benchmarks"), "benchmarks")),
+    }
+
+
+def _sweep_grid(params: Mapping[str, Any]) -> sweep.SweepGrid:
+    return sweep.SweepGrid(
+        p_values=tuple(params["p_values"]),
+        alphas=tuple(params["alphas"]),
+        policies=tuple(params["policies"]),
+    )
+
+
+def _sweep_jobs(params: Mapping[str, Any], scale: ExperimentScale):
+    return sweep.sweep_jobs(scale=scale, benchmarks=params["benchmarks"] or None)
+
+
+def _sweep_render(params: Mapping[str, Any], scale: ExperimentScale) -> str:
+    return sweep.render(
+        sweep.run(
+            scale=scale,
+            grid=_sweep_grid(params),
+            benchmarks=tuple(params["benchmarks"]),
+        )
+    )
+
+
+# --- perf ----------------------------------------------------------------
+
+
+def _wakeup_latencies(value: Any) -> List[int]:
+    if value is None:
+        return list(perf_impact.DEFAULT_WAKEUP_LATENCIES)
+    if isinstance(value, str):
+        try:
+            return [int(token) for token in _names(value, "wakeup_latencies")]
+        except ValueError:
+            raise RequestError(
+                f"wakeup_latencies must be integers, got {value!r}"
+            ) from None
+    if isinstance(value, (list, tuple)):
+        return [_integer(latency, "wakeup_latencies") for latency in value]
+    raise RequestError(
+        f"wakeup_latencies must be a comma string or list, got {value!r}"
+    )
+
+
+def _perf_params(params: Mapping[str, Any]) -> Dict[str, Any]:
+    p_grid = params.get("p_grid")
+    return {
+        "p_values": list(
+            _grid(p_grid, "p_grid") if p_grid else perf_impact.DEFAULT_P_VALUES
+        ),
+        "policies": list(
+            _names(params.get("policies"), "policies")
+            or perf_impact.DEFAULT_PERF_POLICIES
+        ),
+        "alpha": _number(
+            params.get("alpha", perf_impact.DEFAULT_ALPHA), "alpha"
+        ),
+        "wakeup_latencies": _wakeup_latencies(params.get("wakeup_latencies")),
+        "benchmarks": list(_names(params.get("benchmarks"), "benchmarks")),
+    }
+
+
+def _perf_jobs(params: Mapping[str, Any], scale: ExperimentScale):
+    return perf_impact.perf_jobs(
+        scale=scale,
+        policies=tuple(params["policies"]),
+        p_values=tuple(params["p_values"]),
+        alpha=params["alpha"],
+        wakeup_latencies=tuple(params["wakeup_latencies"]),
+        benchmarks=tuple(params["benchmarks"]) or None,
+    )
+
+
+def _perf_render(params: Mapping[str, Any], scale: ExperimentScale) -> str:
+    return perf_impact.render(
+        perf_impact.run(
+            scale=scale,
+            policies=tuple(params["policies"]),
+            p_values=tuple(params["p_values"]),
+            alpha=params["alpha"],
+            wakeup_latencies=tuple(params["wakeup_latencies"]),
+            benchmarks=tuple(params["benchmarks"]) or None,
+        )
+    )
+
+
+# --- robustness ----------------------------------------------------------
+
+
+def _robustness_params(params: Mapping[str, Any]) -> Dict[str, Any]:
+    instructions = params.get("instructions")
+    return {
+        "scenarios": _integer(
+            params.get("scenarios", robustness.DEFAULT_SCENARIO_COUNT), "scenarios"
+        ),
+        "scenario_seed": _integer(
+            params.get("scenario_seed", robustness.DEFAULT_SCENARIO_SEED),
+            "scenario_seed",
+        ),
+        "families": list(_names(params.get("families"), "families")),
+        "policies": list(
+            _names(params.get("policies"), "policies")
+            or robustness.DEFAULT_ROBUSTNESS_POLICIES
+        ),
+        "p": _number(params.get("p", robustness.DEFAULT_P), "p"),
+        "alpha": _number(
+            params.get("alpha", robustness.DEFAULT_ROBUSTNESS_ALPHA), "alpha"
+        ),
+        "instructions": (
+            None if instructions is None else _integer(instructions, "instructions")
+        ),
+    }
+
+
+def _robustness_scale(
+    params: Mapping[str, Any], scale: ExperimentScale
+) -> ExperimentScale:
+    if params["instructions"] is None:
+        return scale
+    return ExperimentScale(
+        window_instructions=params["instructions"],
+        warmup_instructions=scale.warmup_instructions,
+        seed=scale.seed,
+    )
+
+
+def _robustness_jobs(params: Mapping[str, Any], scale: ExperimentScale):
+    from repro.scenarios.space import sample_scenarios
+
+    scenarios = sample_scenarios(
+        params["scenarios"],
+        seed=params["scenario_seed"],
+        families=tuple(params["families"]) or None,
+    )
+    return robustness.robustness_jobs(
+        scenarios, scale=_robustness_scale(params, scale)
+    )
+
+
+def _robustness_render(params: Mapping[str, Any], scale: ExperimentScale) -> str:
+    return robustness.render(
+        robustness.run(
+            scale=scale,
+            count=params["scenarios"],
+            seed=params["scenario_seed"],
+            families=tuple(params["families"]) or None,
+            policies=tuple(params["policies"]),
+            p=params["p"],
+            alpha=params["alpha"],
+            instructions=params["instructions"],
+        )
+    )
+
+
+# --- simulate ------------------------------------------------------------
+
+
+def _simulate_params(params: Mapping[str, Any]) -> Dict[str, Any]:
+    name = params.get("benchmark")
+    if not isinstance(name, str) or name not in benchmark_names():
+        raise RequestError(
+            f"simulate needs 'benchmark', one of {', '.join(benchmark_names())}; "
+            f"got {name!r}"
+        )
+    instructions = _integer(params.get("instructions"), "instructions")
+    if instructions < 1:
+        raise RequestError(f"instructions must be >= 1, got {instructions}")
+    warmup = _integer(params.get("warmup", 0), "warmup")
+    if warmup < 0:
+        raise RequestError(f"warmup must be >= 0, got {warmup}")
+    fus = params.get("fus")
+    return {
+        "benchmark": name,
+        "instructions": instructions,
+        "warmup": warmup,
+        "seed": _integer(params.get("seed", 1), "seed"),
+        "fus": None if fus is None else _integer(fus, "fus"),
+    }
+
+
+def _simulate_job(params: Mapping[str, Any]) -> SimulationJob:
+    config = MachineConfig()
+    if params["fus"] is not None:
+        config = config.with_int_fus(params["fus"])
+    return SimulationJob(
+        profile=get_benchmark(params["benchmark"]),
+        num_instructions=params["instructions"],
+        warmup_instructions=params["warmup"],
+        seed=params["seed"],
+        config=config,
+        record_sequences=False,
+    )
+
+
+def _simulate_jobs(params: Mapping[str, Any], scale: ExperimentScale):
+    return [_simulate_job(params)]
+
+
+def _simulate_render(params: Mapping[str, Any], scale: ExperimentScale) -> str:
+    from repro.exec.engine import run_jobs
+
+    result = run_jobs([_simulate_job(params)])[0]
+    stats = result.stats
+    return (
+        f"simulate {params['benchmark']}: "
+        f"instructions={params['instructions']} "
+        f"cycles={stats.total_cycles} ipc={stats.ipc:.6f}"
+    )
+
+
+_NORMALIZERS = {
+    "sweep": _sweep_params,
+    "perf": _perf_params,
+    "robustness": _robustness_params,
+    "simulate": _simulate_params,
+}
+_JOB_BUILDERS = {
+    "sweep": _sweep_jobs,
+    "perf": _perf_jobs,
+    "robustness": _robustness_jobs,
+    "simulate": _simulate_jobs,
+}
+_RENDERERS = {
+    "sweep": _sweep_render,
+    "perf": _perf_render,
+    "robustness": _robustness_render,
+    "simulate": _simulate_render,
+}
+
+
+def build_request(payload: Any) -> ServeRequest:
+    """Validate and normalize a JSON payload into a :class:`ServeRequest`.
+
+    Raises :class:`RequestError` for anything malformed — unknown kind,
+    wrong types, unparseable grids, unknown benchmark — so the service
+    can answer 400 before any work is scheduled.
+    """
+    if not isinstance(payload, Mapping):
+        raise RequestError(f"request body must be a JSON object, got {payload!r}")
+    kind = payload.get("kind")
+    if kind not in KINDS:
+        raise RequestError(f"unknown kind {kind!r}; expected one of {KINDS}")
+    quick = payload.get("quick", False)
+    if not isinstance(quick, bool):
+        raise RequestError(f"'quick' must be a boolean, got {quick!r}")
+    raw = payload.get("params") or {}
+    if not isinstance(raw, Mapping):
+        raise RequestError(f"'params' must be a JSON object, got {raw!r}")
+    params = _NORMALIZERS[kind](raw)
+    request = ServeRequest(kind=kind, quick=quick, params=params, key="")
+    # The key folds the normalized parameters AND every needed
+    # simulation's cache key (already model-fingerprint-versioned): two
+    # requests share a key exactly when they share cache entries and
+    # render identically.
+    key = canonical_key(
+        {
+            "schema": SERVE_SCHEMA,
+            "kind": kind,
+            "quick": quick,
+            "params": dict(params),
+            "jobs": sorted(job.cache_key() for job in request.jobs()),
+        },
+        versioned=False,
+    )
+    return ServeRequest(kind=kind, quick=quick, params=params, key=key)
+
+
+def payload_from_args(kind: str, args: Any) -> Dict[str, Any]:
+    """Build a serve payload from parsed ``repro`` CLI arguments.
+
+    The thin-client half of ``--server``: ships the *raw* CLI values
+    (grid spec strings, comma lists, None for defaulted flags) so the
+    server's normalization — the same code the local path uses — decides
+    every default. That is what keeps remote output byte-identical to a
+    local run of the same argv.
+    """
+    if kind == "sweep":
+        params: Dict[str, Any] = {
+            "p_grid": args.p_grid,
+            "alpha_grid": args.alpha_grid,
+            "policies": args.policies,
+            "benchmarks": args.benchmarks,
+        }
+    elif kind == "perf":
+        params = {
+            "p_grid": args.p_grid,
+            "policies": args.policies,
+            "alpha": args.alpha,
+            "wakeup_latencies": args.wakeup_latencies,
+            "benchmarks": args.benchmarks,
+        }
+    elif kind == "robustness":
+        params = {
+            "scenarios": args.scenarios,
+            "scenario_seed": args.scenario_seed,
+            "families": args.families,
+            "policies": args.policies,
+            "p": args.p,
+            "alpha": args.alpha,
+            "instructions": args.instructions,
+        }
+    else:
+        raise RequestError(f"--server does not support the {kind!r} subcommand")
+    return {
+        "kind": kind,
+        "quick": bool(getattr(args, "quick", False)),
+        # None and "" both mean "defaulted" to the normalizer; drop them
+        # so equivalent invocations produce identical payloads.
+        "params": {
+            name: value
+            for name, value in params.items()
+            if value is not None and value != ""
+        },
+    }

@@ -8,6 +8,8 @@ pure deployment knob (and the CI backend-equivalence gate).
 
 import io
 import pickle
+import queue
+import threading
 
 import pytest
 
@@ -307,6 +309,80 @@ class TestFailurePropagation:
         backend._spawn = lambda host: (_ for _ in ()).throw(OSError("no such binary"))
         with pytest.raises(OSError, match="no such binary"):
             run_jobs([_job()], backend=backend, use_cache=False)
+
+
+class TestShardAbortAndReaping:
+    """A failed or abandoned SSH batch must stop work and reap workers."""
+
+    def test_preset_abort_feeds_no_jobs(self):
+        """Deterministic core of the early-stop fix: a shard whose abort
+        event is already set hands its worker zero jobs and shuts it
+        down cleanly -- no result, no error, just done."""
+        backend = SSHBackend(("localhost",))
+        out_queue: "queue.Queue" = queue.Queue()
+        abort = threading.Event()
+        abort.set()
+        procs = {}
+        backend._serve_shard(
+            "localhost", [(0, _job().with_stamped_defaults())], out_queue, abort, procs
+        )
+        kinds = []
+        while not out_queue.empty():
+            kinds.append(out_queue.get()[0])
+        assert kinds == ["done"]
+        # The worker was spawned, registered, and has already exited.
+        assert procs["localhost"].poll() is not None
+
+    def test_two_host_batch_stops_early_on_first_failure(
+        self, fresh_cache, monkeypatch
+    ):
+        """Regression for the shard-failure hang: when one host's job
+        fails instantly, the healthy host must not burn through its
+        whole shard before the batch raises."""
+        from repro.exec import backends as backends_mod
+
+        sent = []
+        real_write = backends_mod.write_frame
+
+        def counting_write(stream, frame):
+            if frame.get("kind") == "job":
+                sent.append(frame["id"])
+            real_write(stream, frame)
+
+        monkeypatch.setattr(backends_mod, "write_frame", counting_write)
+        # Index 0 (first host's shard) fails at kernel resolution --
+        # effectively instantly; the odd indices (second host's shard)
+        # are slow enough that the abort lands before the shard drains.
+        jobs = [_job(kernel="bogus")] + [
+            _job(instructions=40_000, warmup=0, seed=seed) for seed in range(1, 9)
+        ]
+        with pytest.raises(RemoteJobError, match="bogus"):
+            run_jobs(jobs, backend="ssh:localhost,localhost", use_cache=False)
+        assert 0 in sent
+        assert len(sent) < len(jobs)
+
+    def test_abandoned_batch_reaps_worker_processes(self, fresh_cache):
+        """Regression for the worker leak: a consumer that stops
+        iterating mid-batch must leave no live worker subprocesses."""
+        backend = SSHBackend(("localhost", "localhost"))
+        spawned = []
+        real_spawn = backend._spawn
+
+        def tracking_spawn(host):
+            proc = real_spawn(host)
+            spawned.append(proc)
+            return proc
+
+        backend._spawn = tracking_spawn
+        jobs = [
+            _job(instructions=1_000, warmup=0, seed=seed).with_stamped_defaults()
+            for seed in range(6)
+        ]
+        generator = backend.submit_batch(jobs)
+        next(generator)  # take one result, then walk away
+        generator.close()
+        assert spawned
+        assert all(proc.poll() is not None for proc in spawned)
 
 
 class TestTelemetry:

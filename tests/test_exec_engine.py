@@ -157,9 +157,29 @@ class TestWorkerResolution:
         monkeypatch.setenv("REPRO_JOBS", "0")
         assert resolve_workers(None) == resolve_workers(0) >= 1
 
-    def test_env_malformed_falls_back_to_serial(self, monkeypatch):
+    def test_env_malformed_falls_back_to_serial(self, monkeypatch, capsys):
         monkeypatch.setenv("REPRO_JOBS", "-2")
         assert resolve_workers(None) == 1
+        assert "REPRO_JOBS='-2'" in capsys.readouterr().err
+
+    def test_env_with_whitespace_parses(self, monkeypatch, capsys):
+        """Regression: REPRO_JOBS=' 8' must mean 8 workers, not a silent
+        fall back to serial."""
+        monkeypatch.setenv("REPRO_JOBS", " 8")
+        assert resolve_workers(None) == 8
+        assert capsys.readouterr().err == ""
+
+    def test_env_malformed_warns_once_per_resolution(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "eight")
+        assert resolve_workers(None) == 1
+        err = capsys.readouterr().err
+        assert "expected a non-negative integer" in err
+        assert "running serial" in err
+
+    def test_env_empty_stays_silent(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "   ")
+        assert resolve_workers(None) == 1
+        assert capsys.readouterr().err == ""
 
     def test_negative_rejected(self):
         with pytest.raises(ValueError):

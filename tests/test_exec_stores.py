@@ -238,6 +238,20 @@ class TestParseStoreSpec:
         assert store.local.directory == tmp_path / "l"
         assert store.shared.directory == tmp_path / "s"
 
+    def test_shared_tilde_expands_to_home(self, tmp_path, monkeypatch):
+        """Regression: ``--store shared:~/fleet`` must expand the ``~``
+        exactly like the local tier does, never create a literal
+        ``./~/fleet`` directory."""
+        monkeypatch.setenv("HOME", str(tmp_path))
+        store = parse_store_spec("shared:~/fleet", None)
+        assert store.directory == tmp_path / "fleet"
+        assert "~" not in str(store.directory)
+
+    def test_layered_tilde_expands_to_home(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("HOME", str(tmp_path))
+        store = parse_store_spec("layered:~/fleet", tmp_path / "l")
+        assert store.shared.directory == tmp_path / "fleet"
+
     def test_malformed_specs_rejected(self, tmp_path):
         for spec in ("bogus", "shared:", "layered:", "local:dir"):
             with pytest.raises(ValueError):

@@ -195,6 +195,56 @@ class TestSnapshotDeltaAbsorb:
         assert h.sum == pytest.approx(9.5)
         assert sum(h.counts) == 1  # mismatched buckets untouched
 
+    def test_delta_min_max_are_cumulative_not_windowed(self):
+        """The documented merge contract: a histogram delta carries the
+        *cumulative* min/max (the window's own extremes are not
+        recoverable from two snapshots), so they bound every windowed
+        observation conservatively."""
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(0.001)
+        registry.histogram("h").observe(10.0)
+        before = registry.snapshot()
+        registry.histogram("h").observe(0.5)  # the window's only value
+        delta = registry.delta_since(before)["histograms"]["h"]
+        assert delta["count"] == 1 and delta["sum"] == pytest.approx(0.5)
+        # Cumulative extremes, not 0.5/0.5 — conservative bounds.
+        assert delta["min"] == 0.001
+        assert delta["max"] == 10.0
+
+    def test_absorbed_min_max_stay_conservative(self):
+        """Absorbing a cumulative-extreme delta can only widen the
+        target's min/max, never tighten them — the quantile clamp the
+        serve-layer latency reports rely on."""
+        target = MetricsRegistry()
+        target.histogram(JOB_SECONDS).observe(0.2)
+        source = MetricsRegistry()
+        source.histogram(JOB_SECONDS).observe(0.05)
+        source.histogram(JOB_SECONDS).observe(7.0)
+        before = source.snapshot()
+        source.histogram(JOB_SECONDS).observe(0.3)
+        target.absorb(source.delta_since(before))
+        merged = target.histogram(JOB_SECONDS)
+        # Widened to the absorbed cumulative extremes: every windowed
+        # observation (0.3) and every local one (0.2) lies inside.
+        assert merged.min == 0.05
+        assert merged.max == 7.0
+        assert merged.count == 2
+
+    def test_windowed_quantiles_clamp_inside_absorbed_extremes(self):
+        """Quantiles over a merged delta land within [min, max] even
+        when those extremes are absorbed cumulative values."""
+        target = MetricsRegistry()
+        source = MetricsRegistry()
+        source.histogram(JOB_SECONDS).observe(0.004)
+        before = source.snapshot()
+        for value in (0.02, 0.03, 0.04):
+            source.histogram(JOB_SECONDS).observe(value)
+        target.absorb(source.delta_since(before))
+        snap = target.histogram(JOB_SECONDS).snapshot()
+        for q in (0.5, 0.9, 0.99):
+            estimate = histogram_quantile(snap, q)
+            assert snap["min"] <= estimate <= snap["max"]
+
     def test_delta_ships_whole_histogram_when_new(self):
         registry = MetricsRegistry()
         before = registry.snapshot()
